@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks: simulator throughput and the cost of
+// the analytic tuning pipeline (the "model-driven tuning is cheap" claim).
+#include <benchmark/benchmark.h>
+
+#include "analysis/chain.hpp"
+#include "analysis/coloring.hpp"
+#include "analysis/tuning.hpp"
+#include "common/rng.hpp"
+#include "gossip/ccg.hpp"
+#include "gossip/fcg.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+void BM_Rng(benchmark::State& state) {
+  Xoshiro256 g(1);
+  for (auto _ : state) benchmark::DoNotOptimize(g.other_node(0, 4096));
+}
+BENCHMARK(BM_Rng);
+
+void BM_GosRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    AlgoConfig acfg;
+    acfg.T = 30;
+    benchmark::DoNotOptimize(run_once(Algo::kGos, acfg, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GosRun)->Arg(1024)->Arg(4096);
+
+void BM_CcgRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    AlgoConfig acfg;
+    acfg.T = 30;
+    benchmark::DoNotOptimize(run_once(Algo::kCcg, acfg, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CcgRun)->Arg(1024)->Arg(4096);
+
+void BM_FcgRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    AlgoConfig acfg;
+    acfg.T = 30;
+    acfg.fcg_f = 1;
+    benchmark::DoNotOptimize(run_once(Algo::kFcg, acfg, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FcgRun)->Arg(1024)->Arg(4096);
+
+void BM_ExpectedColored(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        expected_colored(4096, 4096, 40, LogP::piz_daint(), 44));
+}
+BENCHMARK(BM_ExpectedColored);
+
+void BM_ChainDist(benchmark::State& state) {
+  for (auto _ : state) {
+    ChainDist d(4096, 4050.0);
+    benchmark::DoNotOptimize(d.k_bar(1e-6));
+  }
+}
+BENCHMARK(BM_ChainDist);
+
+void BM_TuneOcg(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        tune_ocg(4096, 4096, LogP::piz_daint(), 6.93e-7));
+}
+BENCHMARK(BM_TuneOcg);
+
+void BM_KnownGNodesInsert(benchmark::State& state) {
+  Xoshiro256 g(3);
+  for (auto _ : state) {
+    KnownGNodes k(Ring(4096), 0, Dir::kFwd, 4);
+    for (int i = 0; i < 32; ++i)
+      k.insert(static_cast<NodeId>(g.bounded(4095) + 1));
+    benchmark::DoNotOptimize(k.size());
+  }
+}
+BENCHMARK(BM_KnownGNodesInsert);
+
+}  // namespace
+}  // namespace cg
+
+BENCHMARK_MAIN();

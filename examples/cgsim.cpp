@@ -1,0 +1,113 @@
+// cgsim: general-purpose command-line driver for the simulator - run any
+// algorithm at any configuration and print the aggregate metrics.  This is
+// the "authors' simulator" workflow: every experiment in the paper (and in
+// EXPERIMENTS.md) can be reproduced from this one binary, if you prefer
+// flags over the canned bench targets.
+//
+//   ./cgsim --algo=fcg --n=4096 --l=2 --o=1 --trials=1000 [--t=37]
+//           [--corr=6] [--f=1] [--pre-fail=3] [--online-fail=1]
+//           [--jitter=0] [--drop=0] [--eps=6.93e-7] [--seed=1]
+//           [--rx=drain|one] [--threads=1] [--drain-extra=0] [--csv]
+//
+// Omitted --t/--corr are tuned from the analytic models at --eps.
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "harness/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cg;
+  const Flags flags(argc, argv);
+
+  const std::string algo_s = flags.get_string("algo", "ccg");
+  Algo algo;
+  if (algo_s == "gos") algo = Algo::kGos;
+  else if (algo_s == "ocg") algo = Algo::kOcg;
+  else if (algo_s == "ccg") algo = Algo::kCcg;
+  else if (algo_s == "fcg") algo = Algo::kFcg;
+  else if (algo_s == "chain") algo = Algo::kOcgChain;
+  else if (algo_s == "big") algo = Algo::kBig;
+  else if (algo_s == "bfb") algo = Algo::kBfb;
+  else if (algo_s == "opt") algo = Algo::kOpt;
+  else {
+    std::fprintf(stderr, "unknown --algo=%s (gos|ocg|ccg|fcg|chain|big|bfb|opt)\n",
+                 algo_s.c_str());
+    return 2;
+  }
+
+  const auto n = static_cast<NodeId>(flags.get_int("n", 1024));
+  const LogP logp{.l_over_o = flags.get_int("l", 2) / flags.get_int("o", 1),
+                  .o_us = static_cast<double>(flags.get_int("o", 1))};
+  const double eps = flags.get_double("eps", 6.9315e-7);
+  const int f = static_cast<int>(flags.get_int("f", 1));
+  const int pre = static_cast<int>(flags.get_int("pre-fail", 0));
+  const int online = static_cast<int>(flags.get_int("online-fail", 0));
+
+  TrialSpec spec;
+  spec.algo = algo;
+  spec.n = n;
+  spec.logp = logp;
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.trials = static_cast<int>(flags.get_int("trials", 1000));
+  spec.threads = static_cast<int>(flags.get_int("threads", 1));
+  spec.jitter_max = flags.get_int("jitter", 0);
+  spec.drop_prob = flags.get_double("drop", 0.0);
+  spec.pre_failures = pre;
+  spec.online_failures = online;
+  spec.rx = flags.get_string("rx", "drain") == "one" ? RxPolicy::kOnePerStep
+                                                     : RxPolicy::kDrainAll;
+
+  // Parameters: explicit flags override the model-tuned defaults.
+  const TunedAlgo tuned = tune_for(algo, n, n - pre, logp, eps, f);
+  spec.acfg = tuned.acfg;
+  if (flags.has("t")) spec.acfg.T = flags.get_int("t", spec.acfg.T);
+  if (flags.has("corr"))
+    spec.acfg.ocg_corr_sends = flags.get_int("corr", spec.acfg.ocg_corr_sends);
+  spec.acfg.fcg_f = f;
+  spec.acfg.drain_extra = flags.get_int("drain-extra", 0);
+
+  std::printf("cgsim: %s on N=%d (L=%.0fus O=%.0fus), T=%lld, %d trials, "
+              "%d pre-failed, %d online failures, jitter<=%lld, eps=%.3g\n",
+              algo_name(algo), n, logp.l_us(), logp.o_us,
+              static_cast<long long>(spec.acfg.T), spec.trials, pre, online,
+              static_cast<long long>(spec.jitter_max), eps);
+
+  const TrialAggregate agg = run_trials(spec);
+
+  Table table({"metric", "value"});
+  const double lat = reported_latency_steps(algo, agg);
+  table.add_row({"latency (mean, us)", Table::cell("%.2f", logp.us(1) * lat)});
+  if (!agg.t_complete.empty()) {
+    table.add_row({"latency p99 (us)",
+                   Table::cell("%.2f", logp.us(1) * agg.t_complete.quantile(0.99))});
+    table.add_row({"latency max (us)",
+                   Table::cell("%.2f", logp.us(1) * agg.t_complete.max())});
+  }
+  table.add_row({"predicted (us)",
+                 Table::cell("%.1f", logp.us(tuned.predicted_latency_steps))});
+  table.add_row({"work (mean msgs)", Table::cell("%.1f", agg.work.mean())});
+  table.add_row({"  gossip part", Table::cell("%.1f", agg.work_gossip.mean())});
+  table.add_row({"  correction part",
+                 Table::cell("%.1f", agg.work_correction.mean())});
+  table.add_row({"inconsistency (mean)",
+                 Table::cell("%.3g", agg.inconsistency.mean())});
+  table.add_row({"all-reached trials",
+                 Table::cell("%lld/%lld",
+                             static_cast<long long>(agg.all_colored_trials),
+                             static_cast<long long>(agg.trials))});
+  table.add_row({"SOS trials",
+                 Table::cell("%lld", static_cast<long long>(agg.sos_trials))});
+  table.add_row(
+      {"all-or-nothing violations",
+       Table::cell("%lld", static_cast<long long>(agg.all_or_nothing_violations))});
+  table.add_row({"runaway (hit max steps)",
+                 Table::cell("%lld",
+                             static_cast<long long>(agg.hit_max_steps_trials))});
+  if (flags.get_bool("csv", false))
+    std::fputs(table.csv().c_str(), stdout);
+  else
+    table.print();
+  return 0;
+}

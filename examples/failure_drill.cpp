@@ -1,0 +1,74 @@
+// Failure drill: crash nodes at the worst moments and watch each
+// consistency level respond.  Demonstrates concretely why CCG's guarantee
+// needs a failure-free correction phase and how FCG's all-or-nothing
+// semantics hold up (including the SOS backstop).
+//
+//   ./failure_drill [--n=512] [--trials=300] [--seed=7]
+#include <cstdio>
+
+#include "analysis/tuning.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cg;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<NodeId>(flags.get_int("n", 512));
+  const int trials = static_cast<int>(flags.get_int("trials", 300));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const LogP logp = LogP::piz_daint();
+  const double eps = 1e-4;
+
+  std::printf("failure drill: N=%d, random crashes while the broadcast "
+              "runs, %d trials per cell\n\n", n, trials);
+
+  Table table({"algo", "online crashes", "all reached", "all-or-nothing",
+               "SOS runs", "mean lat[us]"});
+  for (const Algo a : {Algo::kCcg, Algo::kFcg}) {
+    for (const int crashes : {0, 1, 3}) {
+      const TunedAlgo tuned = tune_for(a, n, n, logp, eps, /*f=*/1);
+      TrialSpec spec;
+      spec.algo = a;
+      spec.acfg = tuned.acfg;
+      spec.n = n;
+      spec.logp = logp;
+      spec.seed = derive_seed(seed, static_cast<std::uint64_t>(crashes) * 4 +
+                                        static_cast<std::uint64_t>(a));
+      spec.trials = trials;
+      spec.online_failures = crashes;
+      spec.online_horizon = tuned.predicted_latency_steps + 8;
+      const TrialAggregate agg = run_trials(spec);
+      table.add_row(
+          {algo_name(a), Table::cell("%d", crashes),
+           Table::cell("%lld/%lld",
+                       static_cast<long long>(agg.all_colored_trials),
+                       static_cast<long long>(agg.trials)),
+           a == Algo::kFcg
+               ? Table::cell("%lld/%lld",
+                             static_cast<long long>(
+                                 agg.trials - agg.all_or_nothing_violations),
+                             static_cast<long long>(agg.trials))
+               : std::string("n/a"),
+           Table::cell("%lld", static_cast<long long>(agg.sos_trials)),
+           Table::cell("%.1f", logp.us(1) * (agg.t_complete.empty()
+                                                 ? 0.0
+                                                 : agg.t_complete.mean()))});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nreading the table:\n"
+      "  * CCG with 0 crashes reaches everyone, always (Claim 3).\n"
+      "  * CCG under crashes degrades badly: a g-node that never hears its\n"
+      "    neighbor (it died) sweeps on, up to a full O(N) lap - watch the\n"
+      "    latency column - and if EVERY g-node covering a gap dies, nodes\n"
+      "    stay unreached while others delivered (the inconsistency the\n"
+      "    paper motivates FCG with in Section III-D).\n"
+      "  * FCG keeps all-or-nothing delivery in every run (Claim 4) at\n"
+      "    nearly flat latency; SOS fires only in pathological cases and\n"
+      "    still delivers.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "analysis/baseline_models.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+int ceil_log2(NodeId n) {
+  CG_CHECK(n >= 1);
+  int bits = 0;
+  NodeId v = 1;
+  while (v < n) {
+    v = v << 1;
+    ++bits;
+  }
+  return bits;
+}
+
+double big_latency_us(NodeId n, const LogP& logp) {
+  const double lg = static_cast<double>(ceil_log2(n));
+  const double O = logp.o_us;
+  const double L = logp.l_us();
+  return (2.0 * O + L) * lg + O * lg;
+}
+
+std::int64_t big_work(NodeId n) {
+  return static_cast<std::int64_t>(n) * ceil_log2(n);
+}
+
+int big_max_failures(NodeId n) { return ceil_log2(n) - 1; }
+
+int bfb_online_failures(int f_hat) {
+  CG_CHECK(f_hat >= 0);
+  return static_cast<int>(std::ceil(0.2 * f_hat));
+}
+
+double bfb_latency_us(NodeId n, int online_failures, const LogP& logp) {
+  const double lg = static_cast<double>(ceil_log2(n));
+  const double tree = (2.0 * logp.o_us + logp.l_us()) * lg;
+  return 2.0 * tree + static_cast<double>(online_failures) * tree;
+}
+
+std::int64_t bfb_work(NodeId n, int online_failures) {
+  return static_cast<std::int64_t>(n) * (1 + online_failures);
+}
+
+double gos_latency_us(Step T, const LogP& logp) {
+  return logp.us(T) + logp.l_us() + logp.o_us;
+}
+
+}  // namespace cg

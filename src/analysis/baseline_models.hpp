@@ -1,0 +1,44 @@
+// Analytic latency/work models for the baseline broadcasts, exactly as the
+// paper uses them in Table 7 and Figure 7 (Section IV-B).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/logp.hpp"
+
+namespace cg {
+
+/// ceil(log2 n) (the paper's log2 P on power-of-two systems).
+int ceil_log2(NodeId n);
+
+// --- BIG: binomial graph [2] ------------------------------------------
+
+/// T_BIG = (2O + L) log2 P + O log2 P.
+double big_latency_us(NodeId n, const LogP& logp);
+
+/// Every node sends to each of its log2 P neighbors: N log2 P messages.
+std::int64_t big_work(NodeId n);
+
+/// Failures tolerated by static routing: log2 P - 1.
+int big_max_failures(NodeId n);
+
+// --- BFB: Buntinas' restart tree [8] -----------------------------------
+
+/// The paper's Table-7 assumption: ceil(20%) of the f_hat failures happen
+/// while the operation runs; each one restarts the tree.
+int bfb_online_failures(int f_hat);
+
+/// T_BFB = 2(2O + L) log2 N, plus one tree latency (2O+L) log2 N per
+/// online restart (matches Table 7: 96 -> 144 us for one restart).
+double bfb_latency_us(NodeId n, int online_failures, const LogP& logp);
+
+/// Work = N per attempt (paper's Table 7: 4096 / 8192 messages).
+std::int64_t bfb_work(NodeId n, int online_failures);
+
+// --- GOS end-of-phase latency ------------------------------------------
+
+/// GOS runs to the fixed schedule T + L + O regardless of coloring.
+double gos_latency_us(Step T, const LogP& logp);
+
+}  // namespace cg

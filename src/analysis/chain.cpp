@@ -1,0 +1,64 @@
+#include "analysis/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/logmath.hpp"
+#include "common/check.hpp"
+
+namespace cg {
+
+ChainDist::ChainDist(NodeId N, double cbar) : N_(N) {
+  CG_CHECK(N >= 1);
+  cbar = std::clamp(cbar, 1.0, static_cast<double>(N));
+  const auto n = static_cast<std::size_t>(N);
+  pmf_.assign(n, 0.0);
+  tail_.assign(n + 1, 0.0);
+
+  const double logN = std::log(static_cast<double>(N));
+  const double logc = std::log(cbar);
+  const double gap = static_cast<double>(N) - cbar;
+  const double loggap = gap > 0.0 ? std::log(gap) : -INFINITY;
+
+  // pi_K for K = 0..N-1.
+  std::vector<double> pi(n, 0.0);
+  for (std::size_t K = 0; K < n; ++K) {
+    const double logp = 2.0 * logc +
+                        static_cast<double>(K) * loggap -
+                        (static_cast<double>(K) + 2.0) * logN;
+    const double p = std::exp(std::min(logp, 0.0));
+    pi[K] = one_minus_pow(p, static_cast<double>(N));
+  }
+
+  // suffix product S(K) = prod_{j > K} (1 - pi_j), then p_K = pi_K * S(K).
+  double log_suffix = 0.0;  // log prod over j > K, built from the top down
+  for (std::size_t K = n; K-- > 0;) {
+    pmf_[K] = pi[K] * std::exp(log_suffix);
+    if (pi[K] >= 1.0)
+      log_suffix = -INFINITY;
+    else
+      log_suffix += std::log1p(-pi[K]);
+  }
+
+  // Upper tails.
+  double acc = 0.0;
+  for (std::size_t K = n; K-- > 0;) {
+    acc += pmf_[K];
+    tail_[K] = acc;
+  }
+}
+
+double ChainDist::tail(int K) const {
+  if (K <= 0) return tail_[0];
+  if (K >= N_) return 0.0;
+  return tail_[static_cast<std::size_t>(K)];
+}
+
+int ChainDist::k_bar(double eps) const {
+  CG_CHECK(eps > 0.0);
+  for (int K = 0; K < N_; ++K)
+    if (tail(K + 1) < eps) return K;
+  return N_ - 1;
+}
+
+}  // namespace cg

@@ -1,0 +1,42 @@
+// Longest uncolored-chain distribution - Eq. (2) of the paper.
+//
+// Given cbar = c(T+L+O) expected g-nodes among N ring positions:
+//   p(K)  = cbar^2 (N-cbar)^K / N^(K+2)      (a specific colored-gap-colored
+//                                             pattern of gap length K)
+//   pi_K  = 1 - (1 - p(K))^N                 (such a gap exists anywhere)
+//   p_K   = pi_K * prod_{j>K} (1 - pi_j)     (K is the MAXIMAL gap)
+// K_bar(eps) is the smallest K whose upper tail sum_{i>K} p_i < eps: with
+// probability >= 1-eps no uncolored chain longer than K_bar exists, which
+// sizes the OCG/CCG correction sweeps (Claim 2).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cg {
+
+class ChainDist {
+ public:
+  /// Build the distribution for N ring positions and expected colored
+  /// count cbar (clamped to [1, N]).
+  ChainDist(NodeId N, double cbar);
+
+  /// P[maximal uncolored chain == K], K in [0, N-1].
+  double pmf(int K) const { return pmf_[static_cast<std::size_t>(K)]; }
+
+  /// P[maximal uncolored chain >= K] (upper tail including K).
+  double tail(int K) const;
+
+  /// Smallest K with tail(K+1) < eps.
+  int k_bar(double eps) const;
+
+  NodeId n() const { return N_; }
+
+ private:
+  NodeId N_;
+  std::vector<double> pmf_;   // index K = 0..N-1
+  std::vector<double> tail_;  // tail_[K] = sum_{i>=K} pmf_[i]
+};
+
+}  // namespace cg

@@ -1,0 +1,32 @@
+// Expected gossip coloring c(t) - Lemma 1 / Eq. (1) of the paper.
+//
+//   c(t+O) = c(t) + (n - c(t)) * [1 - (1 - 1/(N-1))^{c(t-L-O)}]
+//
+// discretized in steps of O with the emission convention of DESIGN.md:
+// arrivals at step s originate from emissions at step s - (L/O+1), whose
+// senders are the nodes colored by step s - (L/O+1) - 1; gossip emissions
+// stop at step T.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/logp.hpp"
+
+namespace cg {
+
+/// Expected colored-node counts c[0..t_max] for a gossip phase of length T
+/// on N named nodes of which n_active are active (root active, colored at 0).
+std::vector<double> expected_colored(NodeId N, NodeId n_active, Step T,
+                                     const LogP& logp, Step t_max);
+
+/// c(T+L+O): expected g-node count when the correction phase starts.
+double colored_at_corr_start(NodeId N, NodeId n_active, Step T,
+                             const LogP& logp);
+
+/// Smallest T with c(T+L+O) >= n_active - delta (gossip-only coloring
+/// target; paper Section III-A "selecting t such that c(t) >= n - delta").
+Step gossip_time_for_target(NodeId N, NodeId n_active, double delta,
+                            const LogP& logp);
+
+}  // namespace cg

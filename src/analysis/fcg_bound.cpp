@@ -1,0 +1,111 @@
+#include "analysis/fcg_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/coloring.hpp"
+#include "analysis/logmath.hpp"
+#include "common/check.hpp"
+
+namespace cg {
+
+GChainDist::GChainDist(NodeId N, double cbar, int V) : N_(N), V_(V) {
+  CG_CHECK(N >= 1 && V >= 2);
+  cbar = std::clamp(cbar, 1.0, static_cast<double>(N));
+  const int count = std::max(0, N - V + 1);  // G = V..N
+  pmf_.assign(static_cast<std::size_t>(count), 0.0);
+  tail_.assign(static_cast<std::size_t>(count) + 1, 0.0);
+  if (count == 0) return;
+
+  const double logN = std::log(static_cast<double>(N));
+  const double logc = std::log(cbar);
+  const double gap = static_cast<double>(N) - cbar;
+  const double loggap = gap > 0.0 ? std::log(gap) : -INFINITY;
+  const double v = static_cast<double>(V);
+
+  std::vector<double> pi(static_cast<std::size_t>(count), 0.0);
+  for (int G = V; G <= N; ++G) {
+    const double g = static_cast<double>(G);
+    // log q(G,V); (G-2)! / ((V-2)! (G-V)!) via lgamma.
+    double logq = v * logc - g * logN + std::lgamma(g - 1.0) -
+                  std::lgamma(v - 1.0) - std::lgamma(g - v + 1.0);
+    if (G > V) logq += (g - v) * loggap;  // 0^0 = 1 when G == V and gap == 0
+    const double q = std::exp(std::min(logq, 0.0));
+    pi[static_cast<std::size_t>(G - V)] =
+        one_minus_pow(q, static_cast<double>(N));
+  }
+
+  double log_suffix = 0.0;  // log prod_{j > G} (1 - pi_j)
+  for (std::size_t i = pi.size(); i-- > 0;) {
+    pmf_[i] = pi[i] * std::exp(log_suffix);
+    log_suffix =
+        pi[i] >= 1.0 ? -INFINITY : log_suffix + std::log1p(-pi[i]);
+  }
+  double acc = 0.0;
+  for (std::size_t i = pmf_.size(); i-- > 0;) {
+    acc += pmf_[i];
+    tail_[i] = acc;
+  }
+}
+
+double GChainDist::pmf(int G) const {
+  if (G < V_ || G > N_) return 0.0;
+  return pmf_[static_cast<std::size_t>(G - V_)];
+}
+
+double GChainDist::tail(int G) const {
+  if (G <= V_) return tail_.empty() ? 0.0 : tail_[0];
+  if (G > N_) return 0.0;
+  return tail_[static_cast<std::size_t>(G - V_)];
+}
+
+int GChainDist::g_v(double eps) const {
+  CG_CHECK(eps > 0.0);
+  // The pmf's total mass is P[a window of V consecutive g-nodes exists at
+  // all]; when the coloring is too sparse for that (cbar ~ V or less) the
+  // span bound is undefined and only the whole ring is a safe answer -
+  // without this, every pattern probability rounds to zero and the
+  // "bound" would degenerate to its minimum V.
+  if (tail(V_) < 1.0 - eps) return N_;
+  for (int G = V_; G <= N_; ++G)
+    if (tail(G + 1) < eps) return G;
+  return N_;
+}
+
+int g_v_for(NodeId N, NodeId n_active, Step T, const LogP& logp, double eps,
+            int f) {
+  const double cbar = colored_at_corr_start(N, n_active, T, logp);
+  return GChainDist(N, cbar, 2 * f + 3).g_v(eps);
+}
+
+Step fcg_predicted_upper(NodeId N, NodeId n_active, Step T, const LogP& logp,
+                         double eps, int f) {
+  const int gv = g_v_for(N, n_active, T, logp, eps, f);
+  if (f == 1)  // exact Appendix-B constant
+    return T + 4 * static_cast<Step>(gv) + logp.l_over_o - 13;
+  return T + 2 * static_cast<Step>(f + 1) * static_cast<Step>(gv) +
+         logp.l_over_o;
+}
+
+FcgTuning tune_fcg(NodeId N, NodeId n_active, const LogP& logp, double eps,
+                   int f, Step t_lo, Step t_hi) {
+  if (t_hi <= 0)
+    t_hi = static_cast<Step>(
+        4.0 *
+            std::ceil(std::log2(static_cast<double>(std::max<NodeId>(N, 2)))) +
+        48.0);
+  CG_CHECK(t_lo >= 1 && t_lo <= t_hi);
+  FcgTuning best;
+  Step best_bound = kNever;
+  for (Step T = t_lo; T <= t_hi; ++T) {
+    const Step bound = fcg_predicted_upper(N, n_active, T, logp, eps, f);
+    if (bound < best_bound) {  // ties -> smallest T (least gossip work)
+      best_bound = bound;
+      best = FcgTuning{T, g_v_for(N, n_active, T, logp, eps, f), bound};
+    }
+  }
+  return best;
+}
+
+}  // namespace cg

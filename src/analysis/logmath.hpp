@@ -1,0 +1,30 @@
+// Log-space numerics for the tail probabilities in Eq. 2 and Appendix B.
+#pragma once
+
+#include <cmath>
+
+namespace cg {
+
+/// log(1 - exp(x)) for x <= 0, numerically stable (Maechler's recipe).
+inline double log1mexp(double x) {
+  // x <= 0 required; exp(x) in (0,1].
+  if (x >= 0.0) return -std::numeric_limits<double>::infinity();
+  return x > -0.6931471805599453  // -ln 2
+             ? std::log(-std::expm1(x))
+             : std::log1p(-std::exp(x));
+}
+
+/// 1 - (1 - p)^n computed stably for tiny p (via logs).
+inline double one_minus_pow(double p, double n) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // (1-p)^n = exp(n*log1p(-p)); result = -expm1(n*log1p(-p)).
+  return -std::expm1(n * std::log1p(-p));
+}
+
+/// log of the binomial coefficient C(n, k) for real-valued n,k >= 0.
+inline double log_choose(double n, double k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+}  // namespace cg

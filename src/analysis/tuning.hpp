@@ -1,0 +1,42 @@
+// Model-driven selection of the gossip time T (Eqs. 3-5 of the paper).
+//
+// For a failure budget eps the correction sweep must cover the 1-eps
+// quantile of the longest uncolored chain, K_bar(T); longer gossip shrinks
+// K_bar but costs time, so T_opt minimizes the end-to-end latency.
+#pragma once
+
+#include "analysis/chain.hpp"
+#include "common/types.hpp"
+#include "sim/logp.hpp"
+
+namespace cg {
+
+/// eps such that m runs all succeed with probability >= 1 - psi:
+/// eps = 1 - (1 - psi)^(1/m)  (paper Section III-B).
+double eps_for_runs(double psi, double m);
+
+/// K_bar(N, n, T, L, eps): 1-eps quantile of the longest uncolored chain
+/// after a gossip phase of length T (uses Eq. 1 then Eq. 2).
+int k_bar_for(NodeId N, NodeId n_active, Step T, const LogP& logp, double eps);
+
+struct Tuning {
+  Step T_opt = 0;                  ///< recommended gossip time (argmin)
+  int k_bar = 0;                   ///< K_bar at T_opt
+  Step predicted_latency = 0;      ///< predicted total latency in steps
+};
+
+/// OCG (Eq. 3): latency(T) = T + 2L + (2 + K_bar(T)) O.
+Tuning tune_ocg(NodeId N, NodeId n_active, const LogP& logp, double eps,
+                Step t_lo = 1, Step t_hi = 0);
+
+/// CCG (Eq. 4): latency(T) = T + 2L + (2 + 2 K_bar(T)) O.
+Tuning tune_ccg(NodeId N, NodeId n_active, const LogP& logp, double eps,
+                Step t_lo = 1, Step t_hi = 0);
+
+/// Predicted latency in steps for a GIVEN T (useful for Figures 3 and 5).
+Step ocg_predicted_latency(NodeId N, NodeId n_active, Step T,
+                           const LogP& logp, double eps);
+Step ccg_predicted_latency(NodeId N, NodeId n_active, Step T,
+                           const LogP& logp, double eps);
+
+}  // namespace cg

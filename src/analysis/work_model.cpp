@@ -1,0 +1,56 @@
+#include "analysis/work_model.hpp"
+
+#include "analysis/coloring.hpp"
+#include "common/check.hpp"
+
+namespace cg {
+
+double expected_gossip_work(NodeId N, NodeId n_active, Step T,
+                            const LogP& logp) {
+  if (T <= 1) return 0.0;
+  const auto c = expected_colored(N, n_active, T, logp, T - 1);
+  double work = 0.0;
+  // Emission at step t (1 <= t <= T-1) by every node colored by t-1.
+  for (Step t = 1; t <= T - 1; ++t)
+    work += c[static_cast<std::size_t>(t - 1)];
+  return work;
+}
+
+double expected_ocg_corr_work(NodeId N, NodeId n_active, Step T,
+                              const LogP& logp, Step corr_sends) {
+  CG_CHECK(corr_sends >= 0);
+  const double g = colored_at_corr_start(N, n_active, T, logp);
+  return g * static_cast<double>(corr_sends);
+}
+
+double expected_ccg_corr_work(NodeId N, NodeId n_active, Step T,
+                              const LogP& logp, double slack) {
+  const double g = colored_at_corr_start(N, n_active, T, logp);
+  // Nearest-g-node distances sum to the ring size per direction.
+  return 2.0 * static_cast<double>(n_active) + 2.0 * g * slack;
+}
+
+double expected_fcg_corr_work(NodeId n_active, int f) {
+  CG_CHECK(f >= 0);
+  return 4.0 * static_cast<double>(f + 1) * static_cast<double>(n_active);
+}
+
+double expected_ocg_work(NodeId N, NodeId n_active, Step T, const LogP& logp,
+                         Step corr_sends) {
+  return expected_gossip_work(N, n_active, T, logp) +
+         expected_ocg_corr_work(N, n_active, T, logp, corr_sends);
+}
+
+double expected_ccg_work(NodeId N, NodeId n_active, Step T,
+                         const LogP& logp) {
+  return expected_gossip_work(N, n_active, T, logp) +
+         expected_ccg_corr_work(N, n_active, T, logp);
+}
+
+double expected_fcg_work(NodeId N, NodeId n_active, Step T, const LogP& logp,
+                         int f) {
+  return expected_gossip_work(N, n_active, T, logp) +
+         expected_fcg_corr_work(n_active, f);
+}
+
+}  // namespace cg

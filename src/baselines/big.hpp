@@ -1,0 +1,102 @@
+// BIG: binomial-graph dissemination broadcast (paper Section IV-B3,
+// Angskun, Bosilca & Dongarra [2]).
+//
+// Node p is connected to the neighbor set {(p + 2^x) mod N}; every node
+// blindly forwards the first received message to ALL its neighbors (one
+// per step, LogP overhead O each), which yields log2(N) vertex-disjoint
+// paths and tolerance of up to log2(N)-1 failures with static routing.
+// Work is always N * |neighbors|; latency is modeled analytically in the
+// paper ((2O+L)log2 P + O log2 P) and cross-checked by this simulation.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+/// Neighbor offsets of the binomial graph on n nodes: powers of two
+/// 2^0, 2^1, ... below n (offsets that are multiples of n are dropped
+/// because they would address the node self).
+inline std::vector<NodeId> big_neighbor_offsets(NodeId n) {
+  std::vector<NodeId> offs;
+  for (std::int64_t p = 1; p < n; p <<= 1) offs.push_back(static_cast<NodeId>(p));
+  return offs;
+}
+
+/// Send order attaining the binomial-tree latency the paper's BIG model
+/// assumes: a node at rank `rel` relative to the root first serves its
+/// binomial-tree children (offsets below its least-significant set bit,
+/// largest first), then emits the redundant fault-tolerance copies to its
+/// remaining neighbors.  The root (rel = 0) has no redundant prefix.
+inline std::vector<NodeId> big_send_order(NodeId rel, NodeId n) {
+  const std::vector<NodeId> offs = big_neighbor_offsets(n);
+  const NodeId lsb =
+      rel == 0 ? std::numeric_limits<NodeId>::max() : (rel & -rel);
+  std::vector<NodeId> order;
+  order.reserve(offs.size());
+  for (auto it = offs.rbegin(); it != offs.rend(); ++it)
+    if (*it < lsb) order.push_back(*it);  // tree children, largest first
+  for (auto it = offs.rbegin(); it != offs.rend(); ++it)
+    if (*it >= lsb) order.push_back(*it);  // redundant copies
+  return order;
+}
+
+class BigNode {
+ public:
+  struct Params {};
+
+  BigNode(const Params&, NodeId self, NodeId n) : self_(self), n_(n) {}
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    if (ctx.is_root()) {
+      color(ctx);
+      if (n_ == 1) ctx.complete();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    if (m.tag != Tag::kTree || colored_) return;
+    color(ctx);
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    if (!colored_) return;
+    if (next_ < order_.size()) {
+      Message m;
+      m.tag = Tag::kTree;
+      ctx.send(static_cast<NodeId>(
+                   (static_cast<std::int64_t>(self_) + order_[next_]) % n_),
+               m);
+      ++next_;
+      return;
+    }
+    ctx.complete();
+  }
+
+  bool colored() const { return colored_; }
+
+ private:
+  template <class Ctx>
+  void color(Ctx& ctx) {
+    colored_ = true;
+    ctx.mark_colored();
+    ctx.deliver();
+    const NodeId rel = static_cast<NodeId>(
+        (static_cast<std::int64_t>(self_) - ctx.root() + n_) % n_);
+    order_ = big_send_order(rel, n_);
+  }
+
+  NodeId self_;
+  NodeId n_;
+  std::vector<NodeId> order_;
+  std::size_t next_ = 0;
+  bool colored_ = false;
+};
+
+}  // namespace cg

@@ -1,0 +1,68 @@
+#include "baselines/opt_tree.hpp"
+
+namespace cg {
+
+std::int64_t opt_colored_at(Step t, const LogP& logp) {
+  const Step d = logp.delivery_delay() + 1;  // emit->ready-to-emit lag
+  if (t < 0) return 0;
+  std::vector<std::int64_t> f(static_cast<std::size_t>(t) + 1, 1);
+  for (Step s = 1; s <= t; ++s) {
+    const std::int64_t prev = f[static_cast<std::size_t>(s - 1)];
+    const std::int64_t born =
+        s >= d ? f[static_cast<std::size_t>(s - d)] : 0;
+    // Cap to avoid overflow on large t (counts beyond ~1e18 are meaningless).
+    f[static_cast<std::size_t>(s)] =
+        prev > (INT64_MAX >> 1) ? prev : prev + born;
+  }
+  return f[static_cast<std::size_t>(t)];
+}
+
+Step opt_latency_steps(NodeId n, const LogP& logp) {
+  const Step d = logp.delivery_delay() + 1;
+  std::int64_t prev = 1;
+  std::vector<std::int64_t> f{1};
+  Step t = 0;
+  while (prev < n) {
+    ++t;
+    const std::int64_t born =
+        t >= d ? f[static_cast<std::size_t>(t - d)] : 0;
+    prev = prev + born;
+    f.push_back(prev);
+  }
+  return t;
+}
+
+std::shared_ptr<const OptSchedule> OptSchedule::build(NodeId n,
+                                                      const LogP& logp) {
+  auto sched = std::make_shared<OptSchedule>();
+  sched->sends.resize(static_cast<std::size_t>(n));
+  sched->colored_at.assign(static_cast<std::size_t>(n), kNever);
+  sched->colored_at[0] = 0;
+  if (n == 1) return sched;
+
+  const Step delay = logp.delivery_delay();
+  // Greedy: every step, every node colored before this step emits to the
+  // next unassigned rank; arrivals color ranks `delay` steps later.  This
+  // attains f(t) = f(t-1) + f(t-(delay+1)).
+  NodeId next_rank = 1;
+  std::vector<NodeId> colored{0};  // ranks in coloring order
+  std::size_t can_send = 1;        // prefix of `colored` able to emit now
+  for (Step s = 1; next_rank < n; ++s) {
+    // Nodes colored at step <= s-1 may emit at s.
+    while (can_send < colored.size() &&
+           sched->colored_at[static_cast<std::size_t>(
+               colored[can_send])] <= s - 1)
+      ++can_send;
+    for (std::size_t i = 0; i < can_send && next_rank < n; ++i) {
+      const NodeId sender = colored[i];
+      sched->sends[static_cast<std::size_t>(sender)].push_back(
+          {s, next_rank});
+      sched->colored_at[static_cast<std::size_t>(next_rank)] = s + delay;
+      colored.push_back(next_rank);
+      ++next_rank;
+    }
+  }
+  return sched;
+}
+
+}  // namespace cg

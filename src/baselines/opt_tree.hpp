@@ -1,0 +1,99 @@
+// OPT: the theoretically optimal non-fault-tolerant broadcast under the
+// step model (the "opt" lower-bound line in Figures 1 and 7a).
+//
+// In the optimal schedule every colored node emits to a fresh node each
+// step, so the colored count obeys f(t) = f(t-1) + f(t - (L/O+2)) with
+// f(t) = 1 for 0 <= t < L/O+2.  opt_schedule() materializes one concrete
+// schedule attaining the bound, executable on the simulator via OptNode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "proto/message.hpp"
+#include "sim/logp.hpp"
+
+namespace cg {
+
+/// Colored-node count of the optimal broadcast at step t.
+std::int64_t opt_colored_at(Step t, const LogP& logp);
+
+/// Smallest step t with opt_colored_at(t) >= n.
+Step opt_latency_steps(NodeId n, const LogP& logp);
+
+/// A concrete optimal schedule: for every node, the list of (emit step,
+/// target) pairs it must send.  Node ids are "virtual ranks" relative to
+/// the root (rank 0); OptNode adds the root id modulo N.
+struct OptSchedule {
+  struct Send {
+    Step at;
+    NodeId target;  // virtual rank
+  };
+  std::vector<std::vector<Send>> sends;  // indexed by virtual rank
+  std::vector<Step> colored_at;          // expected coloring step per rank
+
+  static std::shared_ptr<const OptSchedule> build(NodeId n, const LogP& logp);
+};
+
+class OptNode {
+ public:
+  struct Params {
+    std::shared_ptr<const OptSchedule> schedule;
+  };
+
+  OptNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), n_(n) {
+    CG_CHECK(p_.schedule != nullptr);
+  }
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    if (ctx.is_root()) {
+      rank_ = 0;
+      ctx.mark_colored();
+      ctx.deliver();
+      if (n_ == 1) ctx.complete();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    if (m.tag != Tag::kTree || rank_ >= 0) return;
+    rank_ = m.known_nodes()[0];
+    ctx.mark_colored();
+    ctx.deliver();
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    if (rank_ < 0) return;
+    const auto& mine = p_.schedule->sends[static_cast<std::size_t>(rank_)];
+    if (next_ >= mine.size()) {
+      ctx.complete();
+      return;
+    }
+    // Under the exact base model every slot is hit on time; model
+    // extensions (receive serialization, jitter) can shift coloring, in
+    // which case the schedule degrades gracefully to sending late.
+    if (ctx.now() < mine[next_].at) return;
+    const NodeId target_rank = mine[next_].target;
+    Message m;
+    m.tag = Tag::kTree;
+    m.set_known(std::span<const NodeId>(&target_rank, 1));
+    ctx.send(static_cast<NodeId>(
+                 (static_cast<std::int64_t>(ctx.root()) + target_rank) % n_),
+             m);
+    ++next_;
+  }
+
+ private:
+  Params p_;
+  NodeId self_;
+  NodeId n_;
+  NodeId rank_ = -1;
+  std::size_t next_ = 0;
+};
+
+}  // namespace cg

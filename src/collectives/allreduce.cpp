@@ -1,0 +1,76 @@
+#include "collectives/allreduce.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+int allreduce_sweeps(NodeId n, Step T, const LogP& logp, double eps) {
+  CG_CHECK(n >= 1);
+  // Union bound over the n contribution sources; each source's miss set
+  // behaves like a broadcast coloring gap (Eq. 2).
+  const double per_value_eps = eps / static_cast<double>(n);
+  return k_bar_for(n, n, T, logp, per_value_eps) + 1;
+}
+
+double AllreduceResult::accuracy() const {
+  std::size_t active_count = 0, correct = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!active[i]) continue;
+    ++active_count;
+    if (values[i] == expected) ++correct;
+  }
+  return active_count == 0 ? 1.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(active_count);
+}
+
+AllreduceResult run_allreduce(const AllreduceNode::Params& params,
+                              const RunConfig& cfg) {
+  Engine<AllreduceNode> eng(cfg, params);
+  const RunMetrics m = eng.run();
+
+  AllreduceResult res;
+  res.values.resize(static_cast<std::size_t>(cfg.n));
+  res.active.assign(static_cast<std::size_t>(cfg.n), true);
+  std::unordered_set<NodeId> dead(cfg.failures.pre_failed.begin(),
+                                  cfg.failures.pre_failed.end());
+  for (const auto& of : cfg.failures.online) dead.insert(of.node);
+
+  res.expected = reduce_identity(params.op);
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    res.values[idx] = eng.node(i).value();
+    if (dead.count(i) != 0) res.active[idx] = false;
+  }
+  // The expected aggregate covers every node that was alive at the start:
+  // a node that crashes mid-run may already have spread its contribution,
+  // so the reduction is over initial contributions of non-pre-failed
+  // nodes; online crashers' values MAY be included - for idempotent ops
+  // both results are acceptable, and we report the all-alive reduction.
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    if (std::find(cfg.failures.pre_failed.begin(),
+                  cfg.failures.pre_failed.end(),
+                  i) != cfg.failures.pre_failed.end())
+      continue;
+    const std::int64_t contrib = params.contribution
+                                     ? params.contribution(i)
+                                     : static_cast<std::int64_t>(i);
+    res.expected = reduce_apply(params.op, res.expected, contrib);
+  }
+  res.t_complete = m.t_complete == kNever ? m.t_end : m.t_complete;
+  res.messages = m.msgs_total;
+
+  res.all_correct = true;
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (res.active[idx] && res.values[idx] != res.expected) {
+      res.all_correct = false;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace cg

@@ -1,0 +1,158 @@
+// Corrected-gossip all-reduce: the paper's conclusion sketches extending
+// corrected gossip to "other communication operations such as MPI's
+// collective communications"; this module realizes that for idempotent
+// reductions (max / min / bitwise-or), the class that tolerates the
+// at-least-once delivery of gossip.
+//
+// Algorithm (mirrors OCG's two phases):
+//   * Every node starts "colored" with its own contribution.  For T steps
+//     each node pushes its current partial aggregate to a uniformly random
+//     peer; receivers merge.  After the drain window, each node whp holds
+//     the global aggregate - but, exactly as with broadcast coloring, a
+//     value's reach can have gaps on the ring.
+//   * Deterministic correction: every node sweeps the ring alternately
+//     (+off/-off, off = 1..C) sending its aggregate; receivers merge.
+//     Because later sweep messages carry everything merged so far, a
+//     value's reach compounds transitively, so a sweep of C offsets closes
+//     any per-value gap of length <= C from both sides simultaneously.
+//
+// Tuning: a fixed value v spreads exactly like a broadcast color rooted at
+// v's owner, so the Eq. 2 chain machinery applies per value; a union bound
+// over the n sources gives C = K_bar(eps/n) + margin.  allreduce_sweeps()
+// implements that rule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/tuning.hpp"
+#include "sim/engine.hpp"
+#include "common/ring.hpp"
+#include "common/types.hpp"
+#include "gossip/timing.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+/// Idempotent reduction operators (safe under duplicated delivery).
+enum class ReduceOp : std::uint8_t { kMax, kMin, kOr };
+
+constexpr std::int64_t reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kMax: return INT64_MIN;
+    case ReduceOp::kMin: return INT64_MAX;
+    case ReduceOp::kOr: return 0;
+  }
+  return 0;
+}
+
+constexpr std::int64_t reduce_apply(ReduceOp op, std::int64_t a,
+                                    std::int64_t b) {
+  switch (op) {
+    case ReduceOp::kMax: return a > b ? a : b;
+    case ReduceOp::kMin: return a < b ? a : b;
+    case ReduceOp::kOr: return a | b;
+  }
+  return a;
+}
+
+/// Correction sweep length for an eps-reliable all-reduce on N nodes:
+/// per-value miss chains are broadcast chains, union-bounded over N
+/// sources (see header comment).
+int allreduce_sweeps(NodeId n, Step T, const LogP& logp, double eps);
+
+class AllreduceNode {
+ public:
+  struct Params {
+    Step T = 0;          ///< gossip (aggregation) steps
+    Step corr_sends = 0; ///< ring sweep length C
+    ReduceOp op = ReduceOp::kMax;
+    /// Per-node contribution; by default the node id (handy for tests:
+    /// the global max is then n-1).
+    std::function<std::int64_t(NodeId)> contribution;
+  };
+
+  AllreduceNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), ring_(n) {
+    value_ = p_.contribution ? p_.contribution(self)
+                             : static_cast<std::int64_t>(self);
+  }
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    // Everyone participates from step 0 (all-reduce has no single root).
+    ctx.activate();
+    ctx.mark_colored();
+    if (ring_.size() == 1) {
+      ctx.deliver();
+      ctx.complete();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx&, const Message& m) {
+    value_ = reduce_apply(p_.op, value_, m.time);
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    const Step now = ctx.now();
+    if (now < p_.T) {
+      Message m;
+      m.tag = Tag::kGossip;
+      m.time = value_;
+      ctx.send(ctx.rng().other_node(self_, ring_.size()), m);
+      return;
+    }
+    const Step start = corr_start(p_.T, ctx.logp());
+    if (now < start) return;  // drain window
+    const Step end = start + 2 * p_.corr_sends;
+    if (now >= end + ctx.logp().delivery_delay()) {
+      ctx.deliver();
+      ctx.complete();
+      return;
+    }
+    if (now < end) {
+      const Step k = now - start;
+      const auto off = static_cast<std::int64_t>(k / 2 + 1);
+      const Dir dir = (k % 2 == 0) ? Dir::kFwd : Dir::kBwd;
+      if (off < ring_.size()) {
+        const NodeId target = ring_.step(self_, dir, off);
+        if (target != self_) {
+          Message m;
+          m.tag = dir_tag(dir);
+          m.time = value_;
+          ctx.send(target, m);
+        }
+      }
+    }
+  }
+
+  std::int64_t value() const { return value_; }
+
+ private:
+  Params p_;
+  NodeId self_;
+  Ring ring_;
+  std::int64_t value_ = 0;
+};
+
+/// Result of a simulated all-reduce.
+struct AllreduceResult {
+  std::vector<std::int64_t> values;  ///< final aggregate per node (active)
+  std::vector<bool> active;
+  std::int64_t expected = 0;  ///< reduction over ACTIVE nodes' inputs
+  Step t_complete = 0;
+  std::int64_t messages = 0;
+  bool all_correct = false;   ///< every active node holds `expected`
+
+  /// Fraction of active nodes with the exact global aggregate.
+  double accuracy() const;
+};
+
+/// Run one corrected-gossip all-reduce on the stepped simulator.
+AllreduceResult run_allreduce(const AllreduceNode::Params& params,
+                              const RunConfig& cfg);
+
+}  // namespace cg

@@ -1,0 +1,150 @@
+// Corrected-gossip barrier: the BSP-style synchronization primitive the
+// paper's Section II motivates, built from two phases:
+//
+//   1. GATHER: arrival notifications aggregate up a binomial tree rooted
+//      at the coordinator (ranks relative to it) - each node acks its
+//      parent once it has arrived and every child subtree has acked.
+//   2. RELEASE: the coordinator runs a full corrected-gossip broadcast
+//      (gossip + checked ring correction via CcgCore): release messages
+//      carry the release step so receivers can align their phase windows.
+//
+// The barrier property - NO node releases before EVERY node arrived - is
+// structural: the release broadcast starts only after the gather completed.
+// Release latency inherits corrected gossip's guarantees: all nodes
+// released deterministically, ~T_rel + 2L + 2*K_bar*O after the last
+// arrival plus one tree depth.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "baselines/bfb.hpp"  // binomial tree helpers
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "session/multibcast.hpp"
+
+namespace cg {
+
+class BarrierNode {
+ public:
+  struct Params {
+    NodeId coordinator = 0;
+    Step T_release = 0;  ///< gossip length of the release broadcast
+    /// Arrival step per node (models compute skew); nullptr = everyone at 0.
+    std::shared_ptr<const std::vector<Step>> arrivals;
+  };
+
+  BarrierNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), n_(n),
+        rank_(static_cast<NodeId>(
+            (static_cast<std::int64_t>(self) - p.coordinator + n) % n)),
+        children_(bfb_children(rank_, n)),
+        release_core_(BcastPlan{p.coordinator, kNever / 4, p.T_release},
+                      self, n) {
+    CG_CHECK(p.T_release >= 0);
+  }
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    arrival_ = p_.arrivals
+                   ? (*p_.arrivals)[static_cast<std::size_t>(self_)]
+                   : 0;
+    ctx.activate();  // every participant acts from the start
+    if (n_ == 1) {
+      released_at_ = 0;
+      ctx.mark_colored();
+      ctx.deliver();
+      ctx.complete();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    if (m.tag == Tag::kAck) {
+      ++acks_;
+      return;
+    }
+    // Release traffic: messages carry the release step so this node can
+    // align its gossip/correction windows with the coordinator's clock.
+    if (!armed_) arm(m.time);
+    release_core_.on_receive(ctx.now(), m);
+    maybe_release(ctx);
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    const Step now = ctx.now();
+
+    // --- gather phase ---
+    if (!acked_ && now >= arrival_ &&
+        acks_ >= static_cast<int>(children_.size())) {
+      acked_ = true;
+      if (rank_ == 0) {
+        // Coordinator: everyone arrived; start the release broadcast one
+        // step from now.
+        arm(now + 1);
+      } else {
+        Message m;
+        m.tag = Tag::kAck;
+        ctx.send(member(bfb_parent(rank_)), m);
+        return;
+      }
+    }
+
+    // --- release phase ---
+    if (armed_) {
+      if (auto intent =
+              release_core_.poll_send(now, ctx.logp(), ctx.rng())) {
+        Message m;
+        m.tag = intent->tag;
+        m.time = release_start_;
+        ctx.send(intent->to, m);
+      }
+      maybe_release(ctx);
+      if (release_core_.finished() && released_at_ != kNever) ctx.complete();
+    }
+  }
+
+  /// Step at which this node observed the release (kNever if not yet).
+  Step released_at() const { return released_at_; }
+  Step arrival() const { return arrival_; }
+
+ private:
+  NodeId member(NodeId rank) const {
+    return static_cast<NodeId>(
+        (static_cast<std::int64_t>(rank) + p_.coordinator) % n_);
+  }
+
+  void arm(Step start) {
+    if (armed_) return;
+    armed_ = true;
+    release_start_ = start;
+    release_core_ =
+        CcgCore(BcastPlan{p_.coordinator, start, p_.T_release}, self_, n_);
+  }
+
+  template <class Ctx>
+  void maybe_release(Ctx& ctx) {
+    if (released_at_ == kNever && release_core_.colored()) {
+      released_at_ = ctx.now();
+      ctx.mark_colored();
+      ctx.deliver();
+    }
+    if (released_at_ != kNever && release_core_.finished()) ctx.complete();
+  }
+
+  Params p_;
+  NodeId self_;
+  NodeId n_;
+  NodeId rank_;
+  std::vector<NodeId> children_;
+  Step arrival_ = 0;
+  int acks_ = 0;
+  bool acked_ = false;
+  bool armed_ = false;
+  Step release_start_ = 0;
+  CcgCore release_core_;
+  Step released_at_ = kNever;
+};
+
+}  // namespace cg

@@ -1,0 +1,83 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+void AsciiPlot::add_series(std::string name, char glyph,
+                           std::vector<std::pair<double, double>> points) {
+  series_.push_back({std::move(name), glyph, std::move(points)});
+}
+
+std::string AsciiPlot::str() const {
+  CG_CHECK(width_ >= 8 && height_ >= 4);
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      any = true;
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  auto col = [&](double x) {
+    return std::clamp(static_cast<int>(std::lround(
+                          (x - xmin) / (xmax - xmin) * (width_ - 1))),
+                      0, width_ - 1);
+  };
+  auto row = [&](double y) {  // row 0 = top
+    return std::clamp(static_cast<int>(std::lround(
+                          (ymax - y) / (ymax - ymin) * (height_ - 1))),
+                      0, height_ - 1);
+  };
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points)
+      grid[static_cast<std::size_t>(row(y))][static_cast<std::size_t>(col(x))] =
+          s.glyph;
+  }
+
+  std::string out;
+  char buf[64];
+  for (int r = 0; r < height_; ++r) {
+    // y labels on the first, middle, and last grid rows.
+    if (r == 0 || r == height_ - 1 || r == height_ / 2) {
+      const double y = ymax - (ymax - ymin) * r / (height_ - 1);
+      std::snprintf(buf, sizeof(buf), "%8.1f |", y);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%8s |", "");
+    }
+    out += buf;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(width_), '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%8s  %-8.1f", "", xmin);
+  out += buf;
+  const int pad = width_ - 16;
+  if (pad > 0) out += std::string(static_cast<std::size_t>(pad), ' ');
+  std::snprintf(buf, sizeof(buf), "%8.1f\n", xmax);
+  out += buf;
+  for (const auto& s : series_) {
+    std::snprintf(buf, sizeof(buf), "%10c  %s\n", s.glyph, s.name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+void AsciiPlot::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace cg

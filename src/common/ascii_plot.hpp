@@ -1,0 +1,37 @@
+// Minimal ASCII line-chart renderer so the figure benches can draw their
+// figures, not just print tables (predicted vs simulated series overlaid,
+// like the paper's Figures 3, 5 and 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cg {
+
+class AsciiPlot {
+ public:
+  /// width/height = plot area in characters (axes added around it).
+  AsciiPlot(int width, int height) : width_(width), height_(height) {}
+
+  /// Add a named series of (x, y) points; `glyph` draws its markers.
+  void add_series(std::string name, char glyph,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Render with auto-scaled axes; includes a legend line per series.
+  std::string str() const;
+
+  void print() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char glyph;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace cg

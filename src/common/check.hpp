@@ -1,0 +1,30 @@
+// Lightweight always-on invariant checking.
+//
+// CG_CHECK aborts with a message on violation; it is kept enabled in release
+// builds because the simulator's correctness claims (Las-Vegas guarantees)
+// are exactly what this library exists to demonstrate.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cg::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CG_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace cg::detail
+
+#define CG_CHECK(expr)                                                      \
+  do {                                                                      \
+    if (!(expr)) ::cg::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CG_CHECK_MSG(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) ::cg::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

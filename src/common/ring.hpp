@@ -1,0 +1,74 @@
+// Ring (mod-N) arithmetic used by the correction phases.
+//
+// All corrected-gossip correction protocols view the N nodes as a virtual
+// ring ordered by node id.  "Forward" means increasing ids (mod N),
+// "backward" means decreasing ids (mod N).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+/// Direction of travel on the virtual ring.
+enum class Dir : std::uint8_t {
+  kFwd = 0,  ///< towards (i+1) mod N   (the paper's unicode right-triangle)
+  kBwd = 1,  ///< towards (i-1) mod N   (the paper's unicode left-triangle)
+};
+
+/// The opposite direction.
+constexpr Dir opposite(Dir d) { return d == Dir::kFwd ? Dir::kBwd : Dir::kFwd; }
+
+/// +1 for forward, -1 for backward (the paper's "evaluates to 1 / -1").
+constexpr int dir_sign(Dir d) { return d == Dir::kFwd ? 1 : -1; }
+
+constexpr const char* dir_name(Dir d) { return d == Dir::kFwd ? "fwd" : "bwd"; }
+
+/// Ring helper bound to a fixed size N.
+class Ring {
+ public:
+  explicit constexpr Ring(NodeId n) : n_(n) { CG_CHECK(n > 0); }
+
+  constexpr NodeId size() const { return n_; }
+
+  /// Node at signed offset `off` from `i` (any magnitude).
+  constexpr NodeId at(NodeId i, std::int64_t off) const {
+    std::int64_t r = (static_cast<std::int64_t>(i) + off) % n_;
+    if (r < 0) r += n_;
+    return static_cast<NodeId>(r);
+  }
+
+  /// Node at offset `off` from `i` in direction `d` (off >= 0).
+  constexpr NodeId step(NodeId i, Dir d, std::int64_t off) const {
+    return at(i, dir_sign(d) * off);
+  }
+
+  /// Distance from `from` to `to` walking in direction `d` (0..N-1).
+  constexpr NodeId dist(NodeId from, NodeId to, Dir d) const {
+    std::int64_t diff = d == Dir::kFwd
+                            ? static_cast<std::int64_t>(to) - from
+                            : static_cast<std::int64_t>(from) - to;
+    diff %= n_;
+    if (diff < 0) diff += n_;
+    return static_cast<NodeId>(diff);
+  }
+
+  /// Forward distance (paper's delta_fwd).
+  constexpr NodeId dist_fwd(NodeId from, NodeId to) const {
+    return dist(from, to, Dir::kFwd);
+  }
+  /// Backward distance (paper's delta_bwd).
+  constexpr NodeId dist_bwd(NodeId from, NodeId to) const {
+    return dist(from, to, Dir::kBwd);
+  }
+
+  /// True if `x` lies strictly between `a` and `b` walking forward from `a`.
+  constexpr bool between_fwd(NodeId a, NodeId x, NodeId b) const {
+    return dist_fwd(a, x) > 0 && dist_fwd(a, x) < dist_fwd(a, b);
+  }
+
+ private:
+  NodeId n_;
+};
+
+}  // namespace cg

@@ -1,0 +1,127 @@
+// Streaming and sample-based statistics for experiment aggregation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the normal-approximation 95% CI of the mean.
+  double ci95_halfwidth() const {
+    return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double d = o.mean_ - mean_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ += d * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with quantile queries (keeps all samples).
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// q in [0,1]; nearest-rank quantile.
+  double quantile(double q) const {
+    CG_CHECK(!data_.empty());
+    CG_CHECK(q >= 0.0 && q <= 1.0);
+    sort_once();
+    const double raw = std::ceil(q * static_cast<double>(data_.size())) - 1.0;
+    const double idx =
+        std::clamp(raw, 0.0, static_cast<double>(data_.size() - 1));
+    return data_[static_cast<std::size_t>(idx)];
+  }
+
+  double median() const { return quantile(0.5); }
+  double min() const { CG_CHECK(!data_.empty()); sort_once(); return data_.front(); }
+  double max() const { CG_CHECK(!data_.empty()); sort_once(); return data_.back(); }
+
+  double mean() const {
+    CG_CHECK(!data_.empty());
+    double s = 0;
+    for (double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+  /// Non-parametric (order-statistic, binomial) ~95% CI for the median.
+  /// Returns {lo, hi} sample values.  Used to mirror the paper's
+  /// "non-parametric confidence intervals within 2% of the median".
+  std::pair<double, double> median_ci95() const {
+    CG_CHECK(!data_.empty());
+    sort_once();
+    const auto n = static_cast<double>(data_.size());
+    const double half = 1.96 * std::sqrt(n) * 0.5;
+    auto lo = static_cast<std::ptrdiff_t>(std::floor(n * 0.5 - half));
+    auto hi = static_cast<std::ptrdiff_t>(std::ceil(n * 0.5 + half));
+    lo = std::clamp<std::ptrdiff_t>(lo, 0, static_cast<std::ptrdiff_t>(data_.size()) - 1);
+    hi = std::clamp<std::ptrdiff_t>(hi, 0, static_cast<std::ptrdiff_t>(data_.size()) - 1);
+    return {data_[static_cast<std::size_t>(lo)], data_[static_cast<std::size_t>(hi)]};
+  }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  void merge(const Samples& o) {
+    data_.insert(data_.end(), o.data_.begin(), o.data_.end());
+    sorted_ = false;
+  }
+
+ private:
+  void sort_once() const {
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace cg

@@ -1,0 +1,21 @@
+// Core scalar types shared across the corrected-gossip codebase.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cg {
+
+/// Index of a node in the static name space P = {0..N-1}.
+using NodeId = std::int32_t;
+
+/// Simulated time measured in steps of the LogP overhead O.
+using Step = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+/// Sentinel for "never" / "not yet".
+inline constexpr Step kNever = std::numeric_limits<Step>::max();
+
+}  // namespace cg

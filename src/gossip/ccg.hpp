@@ -1,0 +1,133 @@
+// CCG: Checked Corrected-Gossip (paper Section III-C, Algorithm 2).
+//
+// After the gossip phase each g-node sweeps the ring alternately forward /
+// backward.  From the first backward message it receives it learns the
+// distance m_fwd of its nearest g-node ahead (and symmetrically m_bwd from
+// forward messages); it stops sweeping in a direction once it has sent up
+// to that nearest g-node, and exits when both directions are done.
+// Strongly consistent provided no node fails during the correction phase
+// (Claim 3).  c-nodes (colored by a correction message) exit immediately
+// and never send.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ring.hpp"
+#include "common/types.hpp"
+#include "gossip/timing.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+class CcgNode {
+ public:
+  struct Params {
+    Step T = 0;  ///< gossip stop time
+    /// Extra drain steps before the correction starts (see OcgNode).
+    Step drain_extra = 0;
+    /// Testing hook: bitmap of nodes pre-colored as g-nodes at step 0.
+    std::shared_ptr<const std::vector<std::uint8_t>> seed_colored;
+  };
+
+  CcgNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), ring_(n) {}
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    const bool seeded =
+        p_.seed_colored &&
+        (*p_.seed_colored)[static_cast<std::size_t>(self_)] != 0;
+    if (ctx.is_root() || seeded) {
+      colored_ = true;
+      g_node_ = true;
+      ctx.activate();
+      ctx.mark_colored();
+      ctx.deliver();
+      if (ring_.size() == 1) ctx.complete();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    if (!colored_) {
+      colored_ = true;
+      ctx.mark_colored();
+      ctx.deliver();
+      if (m.tag == Tag::kGossip) {
+        g_node_ = true;
+      } else {
+        // c-node: exits right away (Algorithm 2 line 4).
+        ctx.complete();
+        return;
+      }
+    }
+    if (!g_node_) return;
+    // Record the distance of the nearest g-node in each direction.  A
+    // backward message comes from a g-node AHEAD of us; a forward message
+    // from one BEHIND us (Algorithm 2 line 13).
+    if (m.tag == Tag::kBwd) {
+      m_fwd_ = std::min<Step>(m_fwd_, ring_.dist_fwd(self_, m.src));
+    } else if (m.tag == Tag::kFwd) {
+      m_bwd_ = std::min<Step>(m_bwd_, ring_.dist_bwd(self_, m.src));
+    }
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    const Step now = ctx.now();
+    if (now < p_.T) {
+      Message m;
+      m.tag = Tag::kGossip;
+      m.time = now;
+      ctx.send(ctx.rng().other_node(self_, ring_.size()), m);
+      return;
+    }
+    if (now < corr_start(p_.T, ctx.logp()) + p_.drain_extra)
+      return;  // drain window
+
+    // One direction slot per step; forward first, then backward, at the
+    // same offset before advancing (Algorithm 2 lines 10-17, one send
+    // costs O and a skipped slot also waits O per the paper's analysis).
+    const Dir dir = (slot_ % 2 == 0) ? Dir::kFwd : Dir::kBwd;
+    ++slot_;
+
+    bool& sending = dir == Dir::kFwd ? s_fwd_ : s_bwd_;
+    const Step nearest = dir == Dir::kFwd ? m_fwd_ : m_bwd_;
+    if (sending && off_ > nearest) sending = false;  // covered the gap (line 14)
+    if (sending) {
+      const NodeId target = ring_.step(self_, dir, off_);
+      if (target != self_) {
+        Message m;
+        m.tag = dir_tag(dir);
+        ctx.send(target, m);
+      }
+    }
+    if (dir == Dir::kBwd) ++off_;  // both directions tried at this offset
+
+    // Full circle (line 16) or both directions satisfied: exit.
+    if (off_ >= ring_.size() || (!s_fwd_ && !s_bwd_)) ctx.complete();
+  }
+
+  bool colored() const { return colored_; }
+  bool is_g_node() const { return g_node_; }
+  Step nearest_fwd() const { return m_fwd_; }
+  Step nearest_bwd() const { return m_bwd_; }
+
+ private:
+  Params p_;
+  NodeId self_;
+  Ring ring_;
+  bool colored_ = false;
+  bool g_node_ = false;
+  bool s_fwd_ = true;
+  bool s_bwd_ = true;
+  Step m_fwd_ = kNever;  ///< distance to nearest g-node ahead (from kBwd msgs)
+  Step m_bwd_ = kNever;  ///< distance to nearest g-node behind (from kFwd msgs)
+  Step off_ = 1;
+  Step slot_ = 0;
+};
+
+}  // namespace cg

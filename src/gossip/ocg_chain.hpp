@@ -1,0 +1,144 @@
+// OCG-CHAIN: the chained-correction variant the paper sketches in the
+// Section III-B discussion: "when O > L, one could utilize c-nodes as
+// additional message sources ... a g-node could send a message which is
+// forwarded by a chain of c-nodes until another g-node is reached.  This
+// strategy ... could reduce the number of messages and thus the total
+// work."
+//
+// After the gossip phase each g-node emits exactly ONE correction message
+// per direction, to its immediate ring neighbors.  A node receiving a
+// chain message that colors it (a fresh c-node) forwards it one hop
+// further in the same direction on its next tick; a node that was already
+// colored absorbs it.  Every gap is thus swept serially from both ends:
+//   work       = (#uncolored) + 2 * (#g-nodes)          [minimal]
+//   chain time = ~ceil(K/2) * (L + 2O) for a gap of K    [vs K*O for OCG]
+// so OCG-CHAIN wins on work always and on latency when L < O; plain OCG
+// wins on latency when L >= O.  bench/ablation_chain_correction quantifies
+// the crossover.
+//
+// Like OCG the schedule is fixed: nodes complete at a precomputed horizon.
+// chain_horizon() sizes it from the same K_bar machinery as OCG's C.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ring.hpp"
+#include "common/types.hpp"
+#include "gossip/timing.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+class OcgChainNode {
+ public:
+  struct Params {
+    Step T = 0;        ///< gossip stop time
+    Step horizon = 0;  ///< absolute completion step (see chain_horizon)
+    /// Testing hook: bitmap of nodes pre-colored as g-nodes at step 0.
+    std::shared_ptr<const std::vector<std::uint8_t>> seed_colored;
+  };
+
+  /// Completion horizon covering a worst 1-eps chain of K_bar: each hop
+  /// costs one tick plus the flight (L/O+1), gaps are eaten from both
+  /// ends, plus the final flight and one step of margin.
+  static Step chain_horizon(Step T, int k_bar, const LogP& logp) {
+    const Step hop = logp.delivery_delay() + 1;
+    return corr_start(T, logp) + (k_bar / 2 + 2) * hop +
+           logp.delivery_delay() + 1;
+  }
+
+  OcgChainNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), ring_(n) {}
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    const bool seeded =
+        p_.seed_colored &&
+        (*p_.seed_colored)[static_cast<std::size_t>(self_)] != 0;
+    if (ctx.is_root() || seeded) {
+      colored_ = true;
+      g_node_ = true;
+      ctx.activate();
+      ctx.mark_colored();
+      ctx.deliver();
+      if (ring_.size() == 1) ctx.complete();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    if (m.tag == Tag::kGossip) {
+      if (!colored_) {
+        colored_ = true;
+        g_node_ = true;
+        ctx.mark_colored();
+        ctx.deliver();
+      }
+      return;
+    }
+    if (!is_ring_corr(m.tag)) return;
+    if (colored_) return;  // chain absorbed at an already-colored node
+    colored_ = true;
+    ctx.mark_colored();
+    ctx.deliver();
+    forward_dir_ = tag_dir(m.tag);  // fresh c-node: keep the chain going
+    must_forward_ = true;
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    const Step now = ctx.now();
+    if (g_node_ && now < p_.T) {
+      Message m;
+      m.tag = Tag::kGossip;
+      m.time = now;
+      ctx.send(ctx.rng().other_node(self_, ring_.size()), m);
+      return;
+    }
+    if (now >= p_.horizon) {
+      ctx.complete();
+      return;
+    }
+    if (now < corr_start(p_.T, ctx.logp())) return;
+
+    if (must_forward_) {
+      // c-node relays the chain one hop onward.
+      must_forward_ = false;
+      const NodeId target = ring_.step(self_, forward_dir_, 1);
+      if (target != self_) {
+        Message m;
+        m.tag = dir_tag(forward_dir_);
+        ctx.send(target, m);
+      }
+      return;
+    }
+    if (g_node_ && chain_seeds_sent_ < 2) {
+      // g-node seeds one chain per direction, to its immediate neighbors.
+      const Dir dir = chain_seeds_sent_ == 0 ? Dir::kFwd : Dir::kBwd;
+      ++chain_seeds_sent_;
+      const NodeId target = ring_.step(self_, dir, 1);
+      if (target != self_) {
+        Message m;
+        m.tag = dir_tag(dir);
+        ctx.send(target, m);
+      }
+    }
+  }
+
+  bool colored() const { return colored_; }
+  bool is_g_node() const { return g_node_; }
+
+ private:
+  Params p_;
+  NodeId self_;
+  Ring ring_;
+  bool colored_ = false;
+  bool g_node_ = false;
+  bool must_forward_ = false;
+  Dir forward_dir_ = Dir::kFwd;
+  int chain_seeds_sent_ = 0;
+};
+
+}  // namespace cg

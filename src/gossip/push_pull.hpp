@@ -1,0 +1,115 @@
+// Push-pull gossip (extension beyond the paper's push-only phase).
+//
+// Plain push gossip needs ~log2(N) + ln(N) time because the TAIL is slow:
+// once most nodes are colored, pushes mostly hit colored targets.  The
+// classic fix lets uncolored nodes PULL: every step an uncolored node
+// asks a random peer for the payload; a colored peer answers on its next
+// send slot.  The tail then shrinks geometrically with ratio ~c/N per
+// round instead of the push's (1 - 1/e) miss factor, cutting the time to
+// full coverage to ~log2(N) + O(log log N).
+//
+// In the LogP model pulls are not free - requests and responses both
+// consume send slots (a colored node answers at most one request per
+// step, preferring responses over its own pushes), so the advantage is
+// smaller than in the classic synchronous model; bench/ext_push_pull
+// quantifies it.  Combining this phase with a ring correction would give
+// a "corrected push-pull" with a smaller T_opt; the analysis hooks are
+// pushpull_expected_colored().
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/timing.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+class PushPullNode {
+ public:
+  struct Params {
+    Step T = 0;        ///< combined phase length (pushes and pulls stop at T)
+    bool pull = true;  ///< disable to get plain push gossip for comparison
+  };
+
+  PushPullNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), n_(n) {}
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    if (ctx.is_root()) {
+      colored_ = true;
+      ctx.mark_colored();
+      ctx.deliver();
+      if (n_ == 1) ctx.complete();
+    } else if (p_.pull) {
+      // Uncolored nodes actively participate from the start.
+      ctx.activate();
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    if (m.tag == Tag::kPullReq) {
+      // Answer later from a send slot; cap the backlog (a node late in
+      // the epidemic is asked often; one pending answer per asker suffices
+      // and stale answers to already-colored askers are ignored anyway).
+      if (colored_ && pending_.size() < 8) pending_.push_back(m.src);
+      return;
+    }
+    if (!colored_) {  // payload (push or pull response)
+      colored_ = true;
+      ctx.mark_colored();
+      ctx.deliver();
+    }
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    const Step now = ctx.now();
+    if (now >= p_.T) {
+      if (now >= gossip_drain_end(p_.T, ctx.logp())) ctx.complete();
+      return;
+    }
+    if (colored_) {
+      Message m;
+      m.tag = Tag::kGossip;
+      if (!pending_.empty()) {  // responses take priority over pushes
+        const NodeId asker = pending_.front();
+        pending_.pop_front();
+        if (asker != self_) {
+          ctx.send(asker, m);
+          return;
+        }
+      }
+      ctx.send(ctx.rng().other_node(self_, n_), m);
+      return;
+    }
+    if (p_.pull) {
+      Message m;
+      m.tag = Tag::kPullReq;
+      ctx.send(ctx.rng().other_node(self_, n_), m);
+    }
+  }
+
+  bool colored() const { return colored_; }
+
+ private:
+  Params p_;
+  NodeId self_;
+  NodeId n_;
+  bool colored_ = false;
+  std::deque<NodeId> pending_;
+};
+
+/// Mean-field coloring forecast for push-pull under the step model:
+/// like Eq. (1) plus the pull term - an uncolored node's request at step
+/// t-L-O hits a colored node w.p. c/(N-1) and the answer lands two flights
+/// later.  Rough (ignores slot contention between pushes and responses);
+/// used for tuning hints and sanity tests, not guarantees.
+std::vector<double> pushpull_expected_colored(NodeId N, NodeId n_active,
+                                              Step T, const LogP& logp,
+                                              Step t_max);
+
+}  // namespace cg

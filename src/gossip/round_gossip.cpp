@@ -1,0 +1,44 @@
+#include "gossip/round_gossip.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+RoundGossipResult round_gossip(NodeId n, int rounds, Xoshiro256& rng) {
+  CG_CHECK(n >= 1);
+  CG_CHECK(rounds >= 0);
+  std::vector<bool> colored(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> informed;
+  informed.reserve(static_cast<std::size_t>(n));
+  colored[0] = true;
+  informed.push_back(0);
+
+  RoundGossipResult res;
+  if (n == 1) {
+    res.informed = 1;
+    return res;
+  }
+  for (int r = 0; r < rounds; ++r) {
+    const std::size_t senders = informed.size();  // coloring lands post-round
+    for (std::size_t s = 0; s < senders; ++s) {
+      const NodeId target = rng.other_node(informed[s], n);
+      ++res.messages;
+      if (!colored[static_cast<std::size_t>(target)]) {
+        colored[static_cast<std::size_t>(target)] = true;
+        informed.push_back(target);
+      }
+    }
+    if (informed.size() == static_cast<std::size_t>(n)) break;
+  }
+  res.informed = static_cast<NodeId>(informed.size());
+  return res;
+}
+
+int drezner_barak_rounds(NodeId n) {
+  return static_cast<int>(std::ceil(1.639 * std::log2(static_cast<double>(n))));
+}
+
+}  // namespace cg

@@ -1,0 +1,26 @@
+// Classic synchronous round-based push gossip (Drezner & Barak 1986).
+//
+// Reference model for the paper's Section III claim that T >= 1.639*log2(N)
+// rounds reach every node with high probability, and that N=1000, T=17
+// colors all nodes only ~95.1% of the time.  One round = every informed
+// node sends to one uniformly random other node; deliveries land at the end
+// of the round (no LogP latency).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+struct RoundGossipResult {
+  NodeId informed = 0;    ///< nodes informed after `rounds`
+  std::int64_t messages = 0;
+};
+
+/// Simulate `rounds` rounds of push gossip on n nodes from one root.
+RoundGossipResult round_gossip(NodeId n, int rounds, Xoshiro256& rng);
+
+/// The Drezner-Barak round count for high-probability full coloring.
+int drezner_barak_rounds(NodeId n);
+
+}  // namespace cg

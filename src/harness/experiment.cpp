@@ -1,0 +1,100 @@
+#include "harness/experiment.hpp"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cg {
+
+void TrialAggregate::absorb(const RunMetrics& m) {
+  ++trials;
+  if (m.t_last_colored != kNever)
+    t_last_colored.add(static_cast<double>(m.t_last_colored));
+  if (m.t_complete != kNever)
+    t_complete.add(static_cast<double>(m.t_complete));
+  if (m.t_root_complete != kNever)
+    t_root_complete.add(static_cast<double>(m.t_root_complete));
+  work.add(static_cast<double>(m.msgs_total));
+  work_gossip.add(static_cast<double>(m.msgs_gossip));
+  work_correction.add(static_cast<double>(m.msgs_correction));
+  inconsistency.add(m.inconsistency());
+  if (m.all_active_colored) ++all_colored_trials;
+  if (m.all_active_delivered) ++all_delivered_trials;
+  if (m.sos_triggered) ++sos_trials;
+  if (!m.all_or_nothing_delivery()) ++all_or_nothing_violations;
+  if (m.hit_max_steps) ++hit_max_steps_trials;
+  bfb_restarts_total += m.bfb_restarts;
+}
+
+void TrialAggregate::merge(const TrialAggregate& o) {
+  trials += o.trials;
+  t_last_colored.merge(o.t_last_colored);
+  t_complete.merge(o.t_complete);
+  t_root_complete.merge(o.t_root_complete);
+  work.merge(o.work);
+  work_gossip.merge(o.work_gossip);
+  work_correction.merge(o.work_correction);
+  inconsistency.merge(o.inconsistency);
+  all_colored_trials += o.all_colored_trials;
+  all_delivered_trials += o.all_delivered_trials;
+  sos_trials += o.sos_trials;
+  all_or_nothing_violations += o.all_or_nothing_violations;
+  hit_max_steps_trials += o.hit_max_steps_trials;
+  bfb_restarts_total += o.bfb_restarts_total;
+}
+
+namespace {
+
+RunMetrics one_trial(const TrialSpec& spec, int trial) {
+  RunConfig rcfg;
+  rcfg.n = spec.n;
+  rcfg.root = spec.root;
+  rcfg.logp = spec.logp;
+  rcfg.rx = spec.rx;
+  rcfg.jitter_max = spec.jitter_max;
+  rcfg.drop_prob = spec.drop_prob;
+  rcfg.seed = derive_seed(spec.seed, static_cast<std::uint64_t>(trial) * 2 + 1);
+
+  if (spec.pre_failures > 0 || spec.online_failures > 0) {
+    Xoshiro256 frng(
+        derive_seed(spec.seed, static_cast<std::uint64_t>(trial) * 2 + 2));
+    Step horizon = spec.online_horizon;
+    if (horizon <= 0)
+      horizon = spec.acfg.T + 4 * spec.logp.delivery_delay() + 32;
+    rcfg.failures = FailureSchedule::random(
+        spec.n, spec.pre_failures, spec.online_failures, horizon, frng,
+        spec.root, spec.root_can_fail);
+  }
+  return run_once(spec.algo, spec.acfg, rcfg);
+}
+
+}  // namespace
+
+TrialAggregate run_trials(const TrialSpec& spec) {
+  CG_CHECK(spec.trials >= 1);
+  const int threads = std::max(1, spec.threads);
+  if (threads == 1) {
+    TrialAggregate agg;
+    for (int t = 0; t < spec.trials; ++t) agg.absorb(one_trial(spec, t));
+    return agg;
+  }
+
+  std::vector<TrialAggregate> partial(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int t = w; t < spec.trials; t += threads)
+        partial[static_cast<std::size_t>(w)].absorb(one_trial(spec, t));
+    });
+  }
+  for (auto& th : pool) th.join();
+  TrialAggregate agg;
+  for (const auto& p : partial) agg.merge(p);
+  return agg;
+}
+
+}  // namespace cg

@@ -1,0 +1,69 @@
+// Monte-Carlo trial runner: repeats run_once over derived seeds and
+// aggregates the metrics the paper reports (latency, work, consistency).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "harness/runner.hpp"
+#include "sim/failure.hpp"
+#include "sim/logp.hpp"
+
+namespace cg {
+
+struct TrialSpec {
+  Algo algo = Algo::kGos;
+  AlgoConfig acfg{};
+  NodeId n = 0;
+  NodeId root = 0;
+  LogP logp{};
+  RxPolicy rx = RxPolicy::kDrainAll;
+  Step jitter_max = 0;   ///< per-message extra delay 0..jitter_max steps
+  double drop_prob = 0;  ///< i.i.d. message loss probability
+  std::uint64_t seed = 1;
+  int trials = 1000;
+  int threads = 1;  ///< worker threads (trials are embarrassingly parallel)
+
+  // Failure sampling per trial (fresh schedule each trial).
+  int pre_failures = 0;
+  int online_failures = 0;
+  Step online_horizon = 0;  ///< window for online-failure times
+  bool root_can_fail = false;
+};
+
+struct TrialAggregate {
+  std::int64_t trials = 0;
+
+  // Timing distributions, in steps (convert with LogP::us).
+  Samples t_last_colored;   ///< only trials where all active nodes colored
+  Samples t_complete;       ///< only trials where all colored nodes exited
+  Samples t_root_complete;  ///< only trials where the root completed
+
+  RunningStat work;             ///< msgs_total per trial
+  RunningStat work_gossip;
+  RunningStat work_correction;
+  RunningStat inconsistency;    ///< share of active nodes not reached
+
+  std::int64_t all_colored_trials = 0;
+  std::int64_t all_delivered_trials = 0;
+  std::int64_t sos_trials = 0;
+  std::int64_t all_or_nothing_violations = 0;  ///< FCG safety failures
+  std::int64_t hit_max_steps_trials = 0;
+  std::int64_t bfb_restarts_total = 0;
+
+  void absorb(const RunMetrics& m);
+  void merge(const TrialAggregate& other);
+
+  /// Convenience: fraction of trials that reached every active node.
+  double all_colored_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(all_colored_trials) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Run `spec.trials` independent trials (seeded from spec.seed).
+TrialAggregate run_trials(const TrialSpec& spec);
+
+}  // namespace cg

@@ -1,0 +1,92 @@
+#include "harness/runner.hpp"
+
+#include "baselines/bfb.hpp"
+#include "baselines/big.hpp"
+#include "baselines/opt_tree.hpp"
+#include "common/check.hpp"
+#include "gossip/ccg.hpp"
+#include "gossip/fcg.hpp"
+#include "gossip/gos.hpp"
+#include "gossip/ocg.hpp"
+#include "gossip/ocg_chain.hpp"
+
+namespace cg {
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kGos: return "GOS";
+    case Algo::kOcg: return "OCG";
+    case Algo::kCcg: return "CCG";
+    case Algo::kFcg: return "FCG";
+    case Algo::kOcgChain: return "OCG-CHAIN";
+    case Algo::kBig: return "BIG";
+    case Algo::kBfb: return "BFB";
+    case Algo::kOpt: return "opt";
+  }
+  return "?";
+}
+
+RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg) {
+  switch (algo) {
+    case Algo::kGos: {
+      Engine<GosNode> eng(rcfg, GosNode::Params{acfg.T});
+      return eng.run();
+    }
+    case Algo::kOcg: {
+      CG_CHECK_MSG(acfg.ocg_corr_sends > 0, "OCG needs ocg_corr_sends");
+      OcgNode::Params params;
+      params.T = acfg.T;
+      params.corr_sends = acfg.ocg_corr_sends;
+      params.drain_extra = acfg.drain_extra;
+      Engine<OcgNode> eng(rcfg, params);
+      return eng.run();
+    }
+    case Algo::kCcg: {
+      CcgNode::Params params;
+      params.T = acfg.T;
+      params.drain_extra = acfg.drain_extra;
+      Engine<CcgNode> eng(rcfg, params);
+      return eng.run();
+    }
+    case Algo::kFcg: {
+      FcgNode::Params params;
+      params.T = acfg.T;
+      params.f = acfg.fcg_f;
+      params.drain_extra = acfg.drain_extra;
+      params.sos_timeout = acfg.fcg_sos_timeout;
+      params.sos_enabled = acfg.fcg_sos_enabled;
+      Engine<FcgNode> eng(rcfg, params);
+      return eng.run();
+    }
+    case Algo::kOcgChain: {
+      CG_CHECK_MSG(acfg.ocg_corr_sends > 0, "OCG-CHAIN needs a K_bar");
+      OcgChainNode::Params params;
+      params.T = acfg.T;
+      params.horizon = OcgChainNode::chain_horizon(
+          acfg.T, static_cast<int>(acfg.ocg_corr_sends), rcfg.logp);
+      Engine<OcgChainNode> eng(rcfg, params);
+      return eng.run();
+    }
+    case Algo::kBig: {
+      Engine<BigNode> eng(rcfg, BigNode::Params{});
+      return eng.run();
+    }
+    case Algo::kBfb: {
+      BfbNode::Params params;
+      params.shared = BfbShared::make(rcfg.n, rcfg.root, rcfg.failures);
+      params.quiet_period = 16 * rcfg.logp.delivery_delay() + 32;
+      Engine<BfbNode> eng(rcfg, params);
+      return eng.run();
+    }
+    case Algo::kOpt: {
+      OptNode::Params params;
+      params.schedule = OptSchedule::build(rcfg.n, rcfg.logp);
+      Engine<OptNode> eng(rcfg, params);
+      return eng.run();
+    }
+  }
+  CG_CHECK_MSG(false, "unknown algorithm");
+  return {};
+}
+
+}  // namespace cg

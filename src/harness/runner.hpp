@@ -1,0 +1,37 @@
+// Uniform entry point: run one simulated broadcast of any algorithm.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace cg {
+
+enum class Algo : std::uint8_t {
+  kGos,       ///< plain gossip
+  kOcg,       ///< opportunistic corrected-gossip
+  kCcg,       ///< checked corrected-gossip
+  kFcg,       ///< failure-proof corrected-gossip
+  kOcgChain,  ///< OCG with chained correction (paper Sec. III-B discussion)
+  kBig,       ///< binomial graph (simulated baseline)
+  kBfb,       ///< Buntinas restart tree (simulated baseline)
+  kOpt,       ///< optimal pipelined broadcast (simulated lower bound)
+};
+
+const char* algo_name(Algo a);
+
+/// Per-algorithm knobs (fields are used only by the relevant algorithm).
+struct AlgoConfig {
+  Step T = 0;              ///< gossip time (GOS/OCG/CCG/FCG/OCG-CHAIN)
+  Step ocg_corr_sends = 0; ///< OCG: correction emissions (K_bar + margin);
+                           ///< OCG-CHAIN: the K_bar used to size the horizon
+  int fcg_f = 1;           ///< FCG resilience parameter
+  Step fcg_sos_timeout = 0;    ///< 0 = auto
+  bool fcg_sos_enabled = true;
+  Step drain_extra = 0;    ///< pad the gossip drain window (OCG/CCG/FCG)
+};
+
+/// Run one trial; RunConfig supplies N, root, LogP, seed, and failures.
+RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg);
+
+}  // namespace cg

@@ -1,0 +1,58 @@
+// Paper scenarios: the tuning pipeline and canned experiment setups behind
+// Table 7 and Figures 1, 3, 5, 7 and 9 (see DESIGN.md Section 5).
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+
+/// The paper's headline failure budget: eps = 1-(1-0.5)^(1/1e6) = 6.93e-7
+/// (50% chance that all 10^6 trials succeed).
+double paper_eps();
+
+/// An algorithm with its model-tuned parameters.
+struct TunedAlgo {
+  Algo algo = Algo::kGos;
+  AlgoConfig acfg{};
+  Step predicted_latency_steps = 0;  ///< per the respective Eq. (3/4/5)
+};
+
+/// Reproduce the paper's tuning pipeline: pick T (and OCG's C) from the
+/// analytic models, including the recommended +O margins.  `f` is FCG's
+/// resilience parameter.
+TunedAlgo tune_for(Algo algo, NodeId N, NodeId n_active, const LogP& logp,
+                   double eps, int f = 1);
+
+/// Simulated latency the paper reports for this algorithm (steps):
+/// completion for the gossip family, last coloring for BIG/opt,
+/// ack-to-root for BFB.  Returns the MEAN of the aggregate.
+double reported_latency_steps(Algo algo, const TrialAggregate& agg);
+
+struct ScenarioResult {
+  TunedAlgo tuned;
+  TrialAggregate agg;
+  double lat_us = 0;        ///< simulated (mean)
+  double predicted_us = 0;  ///< model prediction
+  double work = 0;          ///< mean messages per trial
+  double incon = 0;         ///< mean share of active nodes not reached
+};
+
+/// Tune and simulate one algorithm at one scale with `pre_failures`
+/// initially-failed nodes (the Table 7 / Figure 7 setup).
+ScenarioResult run_scenario(Algo algo, NodeId N, int pre_failures,
+                            const LogP& logp, int trials, std::uint64_t seed,
+                            double eps, int f = 1, int threads = 1);
+
+/// Analytic rows for the baselines (exactly the paper's models).
+struct ModelRow {
+  double lat_us = 0;
+  std::int64_t work = 0;
+  double incon = 0;
+};
+ModelRow big_model_row(NodeId N, const LogP& logp);
+ModelRow bfb_model_row(NodeId N, int f_hat, const LogP& logp);
+
+}  // namespace cg

@@ -1,0 +1,81 @@
+// Wire format shared by all broadcast protocols.
+//
+// A single fixed-size POD covers every algorithm in the paper:
+//   * GOS/OCG/CCG/FCG gossip messages carry the virtual time counter;
+//   * OCG correction messages carry the stop time C;
+//   * CCG/FCG ring-correction messages are tagged forward/backward;
+//   * FCG messages additionally carry up to f+1 known g-node ids
+//     (the paper's k-arrays); f <= kMaxKnownF is enforced at setup;
+//   * SOS messages implement FCG's pathological-case backstop;
+//   * tree messages serve the BIG/BFB baselines.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/ring.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+enum class Tag : std::uint8_t {
+  kGossip = 0,  ///< random push-gossip message (carries virtual time)
+  kOcgCorr,     ///< OCG ring correction (receiver never forwards)
+  kFwd,         ///< CCG/FCG forward correction (travels towards i+1, i+2, ...)
+  kBwd,         ///< CCG/FCG backward correction (travels towards i-1, i-2, ...)
+  kSos,         ///< FCG SOS flood
+  kTree,        ///< BIG / BFB dissemination message
+  kNack,        ///< BFB failure notification towards the root
+  kAck,         ///< BFB subtree-complete acknowledgment / barrier gather
+  kPullReq,     ///< push-pull gossip: payload request from an uncolored node
+};
+
+constexpr const char* tag_name(Tag t) {
+  switch (t) {
+    case Tag::kGossip: return "gossip";
+    case Tag::kOcgCorr: return "ocg-corr";
+    case Tag::kFwd: return "fwd";
+    case Tag::kBwd: return "bwd";
+    case Tag::kSos: return "sos";
+    case Tag::kTree: return "tree";
+    case Tag::kNack: return "nack";
+    case Tag::kAck: return "ack";
+    case Tag::kPullReq: return "pull-req";
+  }
+  return "?";
+}
+
+/// True for CCG/FCG ring-correction tags.
+constexpr bool is_ring_corr(Tag t) { return t == Tag::kFwd || t == Tag::kBwd; }
+
+/// Direction a ring-correction message travels in.
+constexpr Dir tag_dir(Tag t) { return t == Tag::kFwd ? Dir::kFwd : Dir::kBwd; }
+constexpr Tag dir_tag(Dir d) { return d == Dir::kFwd ? Tag::kFwd : Tag::kBwd; }
+
+/// Maximum supported FCG resilience parameter f (k-arrays hold f+1 ids).
+inline constexpr int kMaxKnownF = 7;
+
+struct Message {
+  Tag tag = Tag::kGossip;
+  std::uint8_t known_count = 0;
+  NodeId src = kNoNode;
+  /// Virtual time counter (gossip) or generation/epoch (BFB restarts).
+  Step time = 0;
+  /// FCG: g-nodes known to the sender in the direction opposite to travel
+  /// (a forward message lists g-nodes *behind* its sender, so receivers
+  /// extend their backward knowledge; symmetrically for backward messages).
+  std::array<NodeId, kMaxKnownF + 1> known{};
+
+  std::span<const NodeId> known_nodes() const {
+    return {known.data(), known_count};
+  }
+
+  void set_known(std::span<const NodeId> ids) {
+    CG_CHECK(ids.size() <= known.size());
+    known_count = static_cast<std::uint8_t>(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) known[i] = ids[i];
+  }
+};
+
+}  // namespace cg

@@ -1,0 +1,364 @@
+// Multi-threaded execution of the same protocol state machines the stepped
+// simulator runs (sim/engine.hpp), sharding nodes across worker threads
+// with a step barrier.  Produces the same RunMetrics; results match the
+// serial engine exactly for message-order-insensitive protocols (all of
+// the corrected-gossip family), which the tests verify.
+//
+// Structure per global step, for each worker thread w owning the nodes
+// { i : i % threads == w }:
+//   phase A: apply due failures; deliver due messages (on_receive); tick
+//            active nodes (on_tick); stage outgoing messages in a
+//            thread-local outbox;
+//   barrier (completion function aggregates active/in-flight counts and
+//            decides termination);
+//   phase B: route every staged message destined to an owned node into
+//            that node's timed queue;
+//   barrier.
+#pragma once
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace cg {
+
+template <class Node>
+class ParallelEngine {
+ public:
+  using Params = typename Node::Params;
+
+  ParallelEngine(RunConfig cfg, Params params, int threads)
+      : cfg_(std::move(cfg)), params_(std::move(params)),
+        threads_(std::max(1, threads)) {
+    CG_CHECK(cfg_.n >= 1);
+    CG_CHECK_MSG(cfg_.trace == nullptr,
+                 "tracing is not supported by the parallel engine");
+    CG_CHECK_MSG(cfg_.drop_prob == 0.0,
+                 "message loss is not supported by the parallel engine");
+    cfg_.logp.validate();
+  }
+
+  class Ctx {
+   public:
+    Step now() const { return eng_.step_; }
+    NodeId self() const { return self_; }
+    NodeId n() const { return eng_.cfg_.n; }
+    NodeId root() const { return eng_.cfg_.root; }
+    bool is_root() const { return self_ == eng_.cfg_.root; }
+    const LogP& logp() const { return eng_.cfg_.logp; }
+    Xoshiro256& rng() { return eng_.rng_[static_cast<std::size_t>(self_)]; }
+
+    void send(NodeId to, const Message& m) { eng_.do_send(worker_, self_, to, m); }
+    void activate() { eng_.do_activate(worker_, self_); }
+    void mark_colored() { eng_.mark(eng_.colored_at_, self_); }
+    void deliver() { eng_.mark(eng_.delivered_at_, self_); }
+    void complete() { eng_.do_complete(worker_, self_); }
+    bool colored() const {
+      return eng_.colored_at_[static_cast<std::size_t>(self_)] != kNever;
+    }
+
+   private:
+    friend class ParallelEngine;
+    Ctx(ParallelEngine& e, int worker, NodeId self)
+        : eng_(e), worker_(worker), self_(self) {}
+    ParallelEngine& eng_;
+    int worker_;
+    NodeId self_;
+  };
+
+  RunMetrics run();
+
+ private:
+  enum class RunState : std::uint8_t { kIdle, kActive, kDone };
+
+  struct TimedMsg {
+    Step at;
+    NodeId to;
+    Message msg;
+  };
+
+  struct WorkerState {
+    std::vector<TimedMsg> outbox;      // staged sends this step
+    std::int64_t active_delta = 0;     // activations - completions this step
+    std::int64_t sent = 0;             // messages staged this step
+    std::int64_t delivered = 0;        // messages consumed this step
+    // message counters (merged into metrics at the end)
+    std::int64_t msgs_total = 0, msgs_gossip = 0, msgs_corr = 0,
+                 msgs_sos = 0, msgs_tree = 0;
+    char pad[64];                      // avoid false sharing
+  };
+
+  void do_send(int worker, NodeId from, NodeId to, const Message& m) {
+    CG_CHECK(to >= 0 && to < cfg_.n && to != from);
+    auto& ws = workers_[static_cast<std::size_t>(worker)];
+    Message out = m;
+    out.src = from;
+    Step at = step_ + cfg_.logp.delivery_delay();
+    if (cfg_.jitter_max > 0) {
+      at += jitter_rng_[static_cast<std::size_t>(from)].uniform(
+          0, cfg_.jitter_max);
+    }
+    if (cfg_.link_extra) {
+      const Step extra = cfg_.link_extra(from, to);
+      CG_CHECK(extra >= 0 && extra <= cfg_.link_extra_max);
+      at += extra;
+    }
+    ws.outbox.push_back({at, to, out});
+    ++ws.sent;
+    ++ws.msgs_total;
+    switch (m.tag) {
+      case Tag::kGossip: ++ws.msgs_gossip; break;
+      case Tag::kOcgCorr:
+      case Tag::kFwd:
+      case Tag::kBwd: ++ws.msgs_corr; break;
+      case Tag::kSos: ++ws.msgs_sos; break;
+      default: ++ws.msgs_tree; break;
+    }
+  }
+
+  void mark(std::vector<Step>& arr, NodeId i) {
+    auto& v = arr[static_cast<std::size_t>(i)];
+    if (v == kNever) v = step_;
+  }
+
+  void do_activate(int worker, NodeId i) {
+    auto& st = state_[static_cast<std::size_t>(i)];
+    if (st != RunState::kIdle) return;
+    st = RunState::kActive;
+    activated_at_[static_cast<std::size_t>(i)] = step_;
+    ++workers_[static_cast<std::size_t>(worker)].active_delta;
+  }
+
+  void do_complete(int worker, NodeId i) {
+    auto& st = state_[static_cast<std::size_t>(i)];
+    if (st == RunState::kDone) return;
+    if (st == RunState::kActive)
+      --workers_[static_cast<std::size_t>(worker)].active_delta;
+    st = RunState::kDone;
+    completed_at_[static_cast<std::size_t>(i)] = step_;
+  }
+
+  RunConfig cfg_;
+  Params params_;
+  int threads_;
+
+  Step step_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Xoshiro256> rng_;
+  std::vector<Xoshiro256> jitter_rng_;
+  std::vector<bool> alive_;
+  std::vector<RunState> state_;
+  std::vector<Step> colored_at_, delivered_at_, completed_at_, activated_at_;
+  std::vector<Step> crash_at_;
+  std::vector<std::vector<TimedMsg>> queue_;  // per-node pending deliveries
+  std::vector<WorkerState> workers_;
+  std::int64_t active_count_ = 0;
+  std::int64_t in_flight_ = 0;
+  bool stop_ = false;
+  RunMetrics metrics_{};
+};
+
+template <class Node>
+RunMetrics ParallelEngine<Node>::run() {
+  const auto n = static_cast<std::size_t>(cfg_.n);
+  nodes_.clear();
+  nodes_.reserve(n);
+  for (NodeId i = 0; i < cfg_.n; ++i) nodes_.emplace_back(params_, i, cfg_.n);
+  rng_.clear();
+  rng_.reserve(n);
+  for (NodeId i = 0; i < cfg_.n; ++i)
+    rng_.emplace_back(derive_seed(cfg_.seed, static_cast<std::uint64_t>(i)));
+  jitter_rng_.clear();
+  if (cfg_.jitter_max > 0) {
+    jitter_rng_.reserve(n);
+    for (NodeId i = 0; i < cfg_.n; ++i)
+      jitter_rng_.emplace_back(derive_seed(
+          cfg_.seed, static_cast<std::uint64_t>(i) + 0x4A17E500000000ULL));
+  }
+  alive_.assign(n, true);
+  state_.assign(n, RunState::kIdle);
+  colored_at_.assign(n, kNever);
+  delivered_at_.assign(n, kNever);
+  completed_at_.assign(n, kNever);
+  activated_at_.assign(n, kNever);
+  crash_at_.assign(n, kNever);
+  queue_.assign(n, {});
+  workers_.assign(static_cast<std::size_t>(threads_), WorkerState{});
+  metrics_ = RunMetrics{};
+  metrics_.n_total = cfg_.n;
+  step_ = 0;
+  active_count_ = 0;
+  in_flight_ = 0;
+  stop_ = false;
+
+  for (const NodeId i : cfg_.failures.pre_failed) {
+    alive_[static_cast<std::size_t>(i)] = false;
+    state_[static_cast<std::size_t>(i)] = RunState::kDone;
+  }
+  for (const auto& of : cfg_.failures.online)
+    crash_at_[static_cast<std::size_t>(of.node)] =
+        std::min(crash_at_[static_cast<std::size_t>(of.node)], of.at_step);
+  CG_CHECK(alive_[static_cast<std::size_t>(cfg_.root)]);
+
+  state_[static_cast<std::size_t>(cfg_.root)] = RunState::kActive;
+  activated_at_[static_cast<std::size_t>(cfg_.root)] = 0;
+  active_count_ = 1;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (!alive_[static_cast<std::size_t>(i)]) continue;
+    Ctx ctx(*this, static_cast<int>(i) % threads_, i);
+    nodes_[static_cast<std::size_t>(i)].on_start(ctx);
+  }
+  // on_start completions adjust deltas; fold them in before stepping.
+  for (auto& ws : workers_) {
+    active_count_ += ws.active_delta;
+    ws.active_delta = 0;
+  }
+
+  const Step max_steps = cfg_.effective_max_steps();
+
+  // Completion function: runs once per barrier phase; alternate meaning is
+  // handled by a flag toggled inside.
+  auto on_phase_a_done = [this, max_steps]() noexcept {
+    for (auto& ws : workers_) {
+      active_count_ += ws.active_delta;
+      in_flight_ += ws.sent - ws.delivered;
+      ws.active_delta = 0;
+      ws.sent = 0;
+      ws.delivered = 0;
+    }
+    ++step_;
+    if ((active_count_ == 0 && in_flight_ == 0) || step_ >= max_steps) {
+      if (step_ >= max_steps) metrics_.hit_max_steps = true;
+      stop_ = true;
+    }
+  };
+  std::barrier bar_a(threads_, on_phase_a_done);
+  std::barrier bar_b(threads_);
+
+  auto worker_fn = [this, &bar_a, &bar_b](int w) {
+    const auto me = static_cast<NodeId>(w);
+    std::vector<TimedMsg> due;
+    while (!stop_) {
+      const Step s = step_;
+      // --- phase A: failures, deliveries, ticks ---
+      for (NodeId i = me; i < cfg_.n; i += threads_) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (alive_[idx] && crash_at_[idx] <= s) {
+          alive_[idx] = false;
+          if (state_[idx] == RunState::kActive)
+            --workers_[static_cast<std::size_t>(w)].active_delta;
+          state_[idx] = RunState::kDone;
+        }
+        // deliveries due this step
+        auto& q = queue_[idx];
+        due.clear();
+        for (std::size_t k = 0; k < q.size();) {
+          if (q[k].at <= s) {
+            due.push_back(q[k]);
+            q[k] = q.back();
+            q.pop_back();
+          } else {
+            ++k;
+          }
+        }
+        workers_[static_cast<std::size_t>(w)].delivered +=
+            static_cast<std::int64_t>(due.size());
+        if (alive_[idx] && state_[idx] != RunState::kDone) {
+          for (const auto& d : due) {
+            if (state_[idx] == RunState::kDone) break;  // completed mid-drain
+            if (state_[idx] == RunState::kIdle) {
+              state_[idx] = RunState::kActive;
+              activated_at_[idx] = s;
+              ++workers_[static_cast<std::size_t>(w)].active_delta;
+            }
+            Ctx ctx(*this, w, i);
+            nodes_[idx].on_receive(ctx, d.msg);
+          }
+        }
+        if (state_[idx] == RunState::kActive && activated_at_[idx] != s) {
+          Ctx ctx(*this, w, i);
+          nodes_[idx].on_tick(ctx);
+        }
+      }
+      bar_a.arrive_and_wait();
+      if (stop_) {
+        bar_b.arrive_and_wait();
+        break;
+      }
+      // --- phase B: route staged messages to owned nodes ---
+      for (const auto& ws : workers_) {
+        for (const auto& tm : ws.outbox) {
+          if (tm.to % threads_ == me) {
+            queue_[static_cast<std::size_t>(tm.to)].push_back(tm);
+          }
+        }
+      }
+      bar_b.arrive_and_wait();
+      // outboxes cleared by their owners after everyone routed
+      workers_[static_cast<std::size_t>(w)].outbox.clear();
+    }
+  };
+
+  if (threads_ == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) pool.emplace_back(worker_fn, w);
+    for (auto& th : pool) th.join();
+  }
+
+  // finalize metrics (same semantics as the serial engine)
+  metrics_.t_end = step_;
+  for (auto& ws : workers_) {
+    metrics_.msgs_total += ws.msgs_total;
+    metrics_.msgs_gossip += ws.msgs_gossip;
+    metrics_.msgs_correction += ws.msgs_corr;
+    metrics_.msgs_sos += ws.msgs_sos;
+    metrics_.msgs_tree += ws.msgs_tree;
+  }
+  Step last_colored = 0, last_delivered = 0, last_complete = 0;
+  bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!alive_[idx]) continue;
+    ++metrics_.n_active;
+    if (colored_at_[idx] != kNever) {
+      ++metrics_.n_colored;
+      last_colored = std::max(last_colored, colored_at_[idx]);
+      if (completed_at_[idx] != kNever)
+        last_complete = std::max(last_complete, completed_at_[idx]);
+      else
+        any_incomplete = true;
+    } else {
+      any_uncolored = true;
+    }
+    if (delivered_at_[idx] != kNever) {
+      ++metrics_.n_delivered;
+      last_delivered = std::max(last_delivered, delivered_at_[idx]);
+    } else {
+      any_undelivered = true;
+    }
+  }
+  metrics_.all_active_colored = !any_uncolored;
+  metrics_.all_active_delivered = !any_undelivered;
+  metrics_.t_last_colored = any_uncolored ? kNever : last_colored;
+  metrics_.t_last_colored_partial = last_colored;
+  metrics_.t_last_delivered = any_undelivered ? kNever : last_delivered;
+  metrics_.t_complete = any_incomplete ? kNever : last_complete;
+  metrics_.t_root_complete =
+      completed_at_[static_cast<std::size_t>(cfg_.root)];
+  metrics_.sos_triggered = metrics_.msgs_sos > 0;
+  if (cfg_.record_node_detail) {
+    metrics_.colored_at = colored_at_;
+    metrics_.delivered_at = delivered_at_;
+    metrics_.completed_at = completed_at_;
+  }
+  return metrics_;
+}
+
+}  // namespace cg

@@ -1,0 +1,462 @@
+// Stepped LogP broadcast simulator.
+//
+// The engine advances global time in steps of the LogP overhead O and
+// drives protocol state machines.  Per step it:
+//   1. crashes nodes whose online-failure time has come;
+//   2. delivers messages scheduled for this step (calling on_receive);
+//   3. ticks every active, non-completed node (calling on_tick).
+//
+// A message emitted during on_tick at step s is delivered at step
+// s + L/O + 1.  Protocols may emit AT MOST ONE message per node per step
+// (enforced), which models the per-message overhead O of the LogP model.
+//
+// Protocol (Node) requirements - a Node type must provide:
+//   struct Params {...};
+//   Node(const Params&, NodeId self, NodeId n);
+//   template <class Ctx> void on_start(Ctx&);                // step 0, every alive node
+//   template <class Ctx> void on_receive(Ctx&, const Message&);
+//   template <class Ctx> void on_tick(Ctx&);                 // once per step while active
+//
+// Nodes begin Idle (except the root, which is Active).  A node becomes
+// Active when it first receives a message, and Done when it calls
+// Ctx::complete().  Only Active nodes are ticked.  The run stops when no
+// node is Active and no message is in flight (or max_steps as a safety).
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/message.hpp"
+#include "sim/failure.hpp"
+#include "sim/logp.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace cg {
+
+/// How receive overhead is modeled (DESIGN.md Section 2).
+enum class RxPolicy : std::uint8_t {
+  kDrainAll,    ///< all pending messages processed in their arrival step
+                ///< (matches the pseudo-code's "while check for receive")
+  kOnePerStep,  ///< at most one receive per node per step (strict LogP o)
+};
+
+struct RunConfig {
+  NodeId n = 0;             ///< N, size of the name space
+  NodeId root = 0;
+  LogP logp{};
+  RxPolicy rx = RxPolicy::kDrainAll;
+  std::uint64_t seed = 1;   ///< seeds all per-node RNG streams
+  Step max_steps = 0;       ///< 0 = auto (10*N + 64*(L/O+2) + 1024)
+  FailureSchedule failures{};
+  bool record_node_detail = false;
+  TraceSink* trace = nullptr;  ///< not owned; may be nullptr
+  /// Model extension beyond the paper: add a uniform random extra delay of
+  /// 0..jitter_max steps to every message (network variance).  Protocols'
+  /// phase boundaries still use the synchronized clock; the ablation bench
+  /// shows how robust each algorithm is to the resulting reordering.
+  Step jitter_max = 0;
+  /// Model extension: deterministic per-link extra latency (e.g., a
+  /// two-level rack hierarchy).  extra(from, to) must be in
+  /// [0, link_extra_max] and pure.  nullptr = uniform network (the paper).
+  std::function<Step(NodeId from, NodeId to)> link_extra;
+  Step link_extra_max = 0;
+  /// Model extension: each message is lost independently with this
+  /// probability (the paper assumes reliable channels; the ablation shows
+  /// which guarantees survive when that assumption breaks).  Lost messages
+  /// still count as sent work.
+  double drop_prob = 0.0;
+
+  Step effective_max_steps() const {
+    return max_steps > 0
+               ? max_steps
+               : 10 * static_cast<Step>(n) + 64 * (logp.l_over_o + 2) + 1024;
+  }
+};
+
+template <class Node>
+class Engine {
+ public:
+  using Params = typename Node::Params;
+
+  Engine(RunConfig cfg, Params params)
+      : cfg_(std::move(cfg)), params_(std::move(params)) {
+    CG_CHECK(cfg_.n >= 1);
+    CG_CHECK(cfg_.root >= 0 && cfg_.root < cfg_.n);
+    cfg_.logp.validate();
+  }
+
+  /// Execution context handed to protocol callbacks.
+  class Ctx {
+   public:
+    Step now() const { return eng_.step_; }
+    NodeId self() const { return self_; }
+    NodeId n() const { return eng_.cfg_.n; }
+    NodeId root() const { return eng_.cfg_.root; }
+    bool is_root() const { return self_ == eng_.cfg_.root; }
+    const LogP& logp() const { return eng_.cfg_.logp; }
+    Xoshiro256& rng() { return eng_.rng_[static_cast<std::size_t>(self_)]; }
+
+    /// Emit one message; delivered at now() + L/O + 1.
+    void send(NodeId to, const Message& m) { eng_.do_send(self_, to, m); }
+
+    /// Make an Idle node Active (used by protocols whose on_start seeds
+    /// state on non-root nodes, e.g. the testing pre-colored hook).
+    void activate() { eng_.do_activate(self_); }
+
+    /// Record that this node now holds the broadcast payload.
+    void mark_colored() { eng_.do_mark_colored(self_); }
+    /// Record formal delivery to the client (FCG semantics).
+    void deliver() { eng_.do_deliver(self_); }
+    /// Exit the algorithm; no further callbacks for this node.
+    void complete() { eng_.do_complete(self_); }
+
+    bool colored() const {
+      return eng_.colored_at_[static_cast<std::size_t>(self_)] != kNever;
+    }
+
+   private:
+    friend class Engine;
+    Ctx(Engine& e, NodeId self) : eng_(e), self_(self) {}
+    Engine& eng_;
+    NodeId self_;
+  };
+
+  RunMetrics run();
+
+  /// Access a node's protocol state after (or during) the run - tests only.
+  const Node& node(NodeId i) const { return nodes_[static_cast<std::size_t>(i)]; }
+
+ private:
+  enum class RunState : std::uint8_t { kIdle, kActive, kDone };
+
+  struct Delivery {
+    NodeId to;
+    Message msg;
+  };
+
+  void do_send(NodeId from, NodeId to, const Message& m);
+  void do_activate(NodeId i);
+  void do_mark_colored(NodeId i);
+  void do_deliver(NodeId i);
+  void do_complete(NodeId i);
+  void apply_failure(NodeId i);
+  void dispatch(NodeId to, const Message& m);
+  void trace(TraceEvent ev) {
+    if (cfg_.trace != nullptr) cfg_.trace->on_event(ev);
+  }
+  RunMetrics finalize();
+
+  RunConfig cfg_;
+  Params params_;
+
+  // Run state (valid during run()).
+  Step step_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Xoshiro256> rng_;
+  std::vector<Xoshiro256> jitter_rng_;
+  std::vector<Xoshiro256> loss_rng_;
+  std::vector<bool> alive_;
+  std::vector<RunState> state_;
+  std::vector<Step> colored_at_;
+  std::vector<Step> delivered_at_;
+  std::vector<Step> completed_at_;
+  std::vector<Step> activated_at_;
+  std::vector<std::vector<Delivery>> calendar_;  // ring buffer, D+1 slots
+  std::vector<std::deque<Message>> inbox_;       // kOnePerStep only
+  std::int64_t in_flight_ = 0;
+  NodeId active_count_ = 0;
+  NodeId sends_this_step_node_ = kNoNode;  // one-send-per-step enforcement
+  Step sends_this_step_time_ = -1;
+  RunMetrics metrics_{};
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <class Node>
+void Engine<Node>::do_send(NodeId from, NodeId to, const Message& m) {
+  CG_CHECK(to >= 0 && to < cfg_.n);
+  CG_CHECK_MSG(to != from, "node sent a message to itself");
+  // Enforce one emission per node per step (LogP overhead O per message).
+  if (sends_this_step_node_ == from && sends_this_step_time_ == step_) {
+    CG_CHECK_MSG(false, "protocol emitted >1 message in one step");
+  }
+  sends_this_step_node_ = from;
+  sends_this_step_time_ = step_;
+
+  ++metrics_.msgs_total;
+  switch (m.tag) {
+    case Tag::kGossip:
+    case Tag::kPullReq: ++metrics_.msgs_gossip; break;
+    case Tag::kOcgCorr:
+    case Tag::kFwd:
+    case Tag::kBwd: ++metrics_.msgs_correction; break;
+    case Tag::kSos: ++metrics_.msgs_sos; break;
+    case Tag::kTree:
+    case Tag::kNack:
+    case Tag::kAck: ++metrics_.msgs_tree; break;
+  }
+
+  if (cfg_.drop_prob > 0.0 &&
+      loss_rng_[static_cast<std::size_t>(from)].uniform01() < cfg_.drop_prob) {
+    trace({step_, TraceEvent::Kind::kSend, from, to, m.tag});
+    return;  // lost on the wire (already counted as work)
+  }
+
+  Message out = m;
+  out.src = from;
+  Step at = step_ + cfg_.logp.delivery_delay();
+  if (cfg_.jitter_max > 0) {
+    // Per-sender jitter streams: deterministic for a seed and identical
+    // between the serial and parallel engines.
+    at += jitter_rng_[static_cast<std::size_t>(from)].uniform(
+        0, cfg_.jitter_max);
+  }
+  if (cfg_.link_extra) {
+    const Step extra = cfg_.link_extra(from, to);
+    CG_CHECK(extra >= 0 && extra <= cfg_.link_extra_max);
+    at += extra;
+  }
+  auto& slot = calendar_[static_cast<std::size_t>(at % static_cast<Step>(calendar_.size()))];
+  slot.push_back({to, out});
+  ++in_flight_;
+  trace({step_, TraceEvent::Kind::kSend, from, to, m.tag});
+}
+
+template <class Node>
+void Engine<Node>::do_activate(NodeId i) {
+  const auto idx = static_cast<std::size_t>(i);
+  if (state_[idx] != RunState::kIdle) return;
+  state_[idx] = RunState::kActive;
+  activated_at_[idx] = step_;
+  ++active_count_;
+}
+
+template <class Node>
+void Engine<Node>::do_mark_colored(NodeId i) {
+  auto& c = colored_at_[static_cast<std::size_t>(i)];
+  if (c == kNever) {
+    c = step_;
+    trace({step_, TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
+  }
+}
+
+template <class Node>
+void Engine<Node>::do_deliver(NodeId i) {
+  auto& d = delivered_at_[static_cast<std::size_t>(i)];
+  if (d == kNever) {
+    d = step_;
+    trace({step_, TraceEvent::Kind::kDelivered, i, kNoNode, Tag::kGossip});
+  }
+}
+
+template <class Node>
+void Engine<Node>::do_complete(NodeId i) {
+  auto& st = state_[static_cast<std::size_t>(i)];
+  if (st == RunState::kDone) return;
+  if (st == RunState::kActive) --active_count_;
+  st = RunState::kDone;
+  completed_at_[static_cast<std::size_t>(i)] = step_;
+  trace({step_, TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
+}
+
+template <class Node>
+void Engine<Node>::apply_failure(NodeId i) {
+  const auto idx = static_cast<std::size_t>(i);
+  if (!alive_[idx]) return;
+  alive_[idx] = false;
+  if (state_[idx] == RunState::kActive) --active_count_;
+  state_[idx] = RunState::kDone;  // it will never act again
+  trace({step_, TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
+}
+
+template <class Node>
+void Engine<Node>::dispatch(NodeId to, const Message& m) {
+  const auto idx = static_cast<std::size_t>(to);
+  --in_flight_;
+  if (!alive_[idx] || state_[idx] == RunState::kDone) return;  // dropped
+  if (state_[idx] == RunState::kIdle) {
+    state_[idx] = RunState::kActive;
+    activated_at_[idx] = step_;
+    ++active_count_;
+  }
+  trace({step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+  Ctx ctx(*this, to);
+  nodes_[idx].on_receive(ctx, m);
+}
+
+template <class Node>
+RunMetrics Engine<Node>::run() {
+  const auto n = static_cast<std::size_t>(cfg_.n);
+  nodes_.clear();
+  nodes_.reserve(n);
+  for (NodeId i = 0; i < cfg_.n; ++i) nodes_.emplace_back(params_, i, cfg_.n);
+
+  rng_.clear();
+  rng_.reserve(n);
+  for (NodeId i = 0; i < cfg_.n; ++i)
+    rng_.emplace_back(derive_seed(cfg_.seed, static_cast<std::uint64_t>(i)));
+  jitter_rng_.clear();
+  if (cfg_.jitter_max > 0) {
+    jitter_rng_.reserve(n);
+    for (NodeId i = 0; i < cfg_.n; ++i)
+      jitter_rng_.emplace_back(derive_seed(
+          cfg_.seed, static_cast<std::uint64_t>(i) + 0x4A17E500000000ULL));
+  }
+  loss_rng_.clear();
+  if (cfg_.drop_prob > 0.0) {
+    CG_CHECK(cfg_.drop_prob < 1.0);
+    loss_rng_.reserve(n);
+    for (NodeId i = 0; i < cfg_.n; ++i)
+      loss_rng_.emplace_back(derive_seed(
+          cfg_.seed, static_cast<std::uint64_t>(i) + 0x10550000000000ULL));
+  }
+
+  alive_.assign(n, true);
+  state_.assign(n, RunState::kIdle);
+  colored_at_.assign(n, kNever);
+  delivered_at_.assign(n, kNever);
+  completed_at_.assign(n, kNever);
+  activated_at_.assign(n, kNever);
+  calendar_.assign(static_cast<std::size_t>(cfg_.logp.delivery_delay() +
+                                            cfg_.jitter_max +
+                                            cfg_.link_extra_max) + 1, {});
+  if (cfg_.rx == RxPolicy::kOnePerStep) inbox_.assign(n, {});
+  in_flight_ = 0;
+  active_count_ = 0;
+  metrics_ = RunMetrics{};
+  metrics_.n_total = cfg_.n;
+  step_ = 0;
+
+  // Pre-failed nodes.
+  for (const NodeId i : cfg_.failures.pre_failed) {
+    CG_CHECK(i >= 0 && i < cfg_.n);
+    alive_[static_cast<std::size_t>(i)] = false;
+    state_[static_cast<std::size_t>(i)] = RunState::kDone;
+  }
+  CG_CHECK_MSG(alive_[static_cast<std::size_t>(cfg_.root)],
+               "root must be active at start");
+
+  // Sort online failures by time for in-order application.
+  auto online = cfg_.failures.online;
+  std::sort(online.begin(), online.end(),
+            [](const OnlineFailure& a, const OnlineFailure& b) {
+              return a.at_step < b.at_step;
+            });
+  std::size_t next_failure = 0;
+
+  // Start: root is active; everyone alive gets on_start.  The root counts
+  // as activated at step 0 (colored at 0, first emission at step 1).
+  state_[static_cast<std::size_t>(cfg_.root)] = RunState::kActive;
+  activated_at_[static_cast<std::size_t>(cfg_.root)] = 0;
+  ++active_count_;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (!alive_[static_cast<std::size_t>(i)]) continue;
+    Ctx ctx(*this, i);
+    nodes_[static_cast<std::size_t>(i)].on_start(ctx);
+  }
+
+  const Step max_steps = cfg_.effective_max_steps();
+  std::vector<Delivery> due;  // scratch
+  while (active_count_ > 0 || in_flight_ > 0) {
+    if (step_ >= max_steps) {
+      metrics_.hit_max_steps = true;
+      break;
+    }
+
+    // 1. crash failures scheduled at or before this step
+    while (next_failure < online.size() && online[next_failure].at_step <= step_) {
+      apply_failure(online[next_failure].node);
+      ++next_failure;
+    }
+
+    // 2. deliveries scheduled for this step
+    auto& slot = calendar_[static_cast<std::size_t>(
+        step_ % static_cast<Step>(calendar_.size()))];
+    due.clear();
+    due.swap(slot);
+    if (cfg_.rx == RxPolicy::kDrainAll) {
+      for (const auto& d : due) dispatch(d.to, d.msg);
+    } else {
+      for (const auto& d : due)
+        inbox_[static_cast<std::size_t>(d.to)].push_back(d.msg);
+      for (NodeId i = 0; i < cfg_.n; ++i) {
+        auto& box = inbox_[static_cast<std::size_t>(i)];
+        if (!box.empty()) {
+          const Message m = box.front();
+          box.pop_front();
+          dispatch(i, m);
+        }
+      }
+    }
+
+    // 3. ticks - a node activated at step c (first receive, or the root at
+    // step 0) may only emit from step c+1 (its receive occupied step c),
+    // so its first tick is skipped.
+    for (NodeId i = 0; i < cfg_.n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (state_[idx] != RunState::kActive || activated_at_[idx] == step_)
+        continue;
+      Ctx ctx(*this, i);
+      nodes_[idx].on_tick(ctx);
+    }
+
+    ++step_;
+  }
+
+  return finalize();
+}
+
+template <class Node>
+RunMetrics Engine<Node>::finalize() {
+  metrics_.t_end = step_;
+  Step last_colored = 0, last_delivered = 0, last_complete = 0;
+  bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!alive_[idx]) continue;
+    ++metrics_.n_active;
+    if (colored_at_[idx] != kNever) {
+      ++metrics_.n_colored;
+      last_colored = std::max(last_colored, colored_at_[idx]);
+      if (completed_at_[idx] != kNever)
+        last_complete = std::max(last_complete, completed_at_[idx]);
+      else
+        any_incomplete = true;
+    } else {
+      any_uncolored = true;
+    }
+    if (delivered_at_[idx] != kNever) {
+      ++metrics_.n_delivered;
+      last_delivered = std::max(last_delivered, delivered_at_[idx]);
+    } else {
+      any_undelivered = true;
+    }
+  }
+  metrics_.all_active_colored = !any_uncolored;
+  metrics_.all_active_delivered = !any_undelivered;
+  metrics_.t_last_colored = any_uncolored ? kNever : last_colored;
+  metrics_.t_last_colored_partial = last_colored;
+  metrics_.t_last_delivered = any_undelivered ? kNever : last_delivered;
+  // Completion is over COLORED nodes: a weakly consistent protocol (GOS/OCG)
+  // legitimately finishes while some nodes were never reached.
+  metrics_.t_complete = any_incomplete ? kNever : last_complete;
+  metrics_.sos_triggered = metrics_.msgs_sos > 0;
+  metrics_.t_root_complete = completed_at_[static_cast<std::size_t>(cfg_.root)];
+  if (cfg_.record_node_detail) {
+    metrics_.colored_at = colored_at_;
+    metrics_.delivered_at = delivered_at_;
+    metrics_.completed_at = completed_at_;
+  }
+  return metrics_;
+}
+
+}  // namespace cg

@@ -1,0 +1,102 @@
+// Generic discrete-event kernel.
+//
+// The stepped engine (engine.hpp) is the fast path for the paper's
+// synchronous LogP model; this binary-heap kernel underlies components
+// with irregular timing: the threaded runtime's virtual-time test mode and
+// any future g>0 / heterogeneous-latency extensions.  Events scheduled for
+// the same time fire in insertion order (stable), which keeps runs
+// deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule_at(Step at, Handler fn) {
+    CG_CHECK(at >= now_);
+    const std::uint64_t id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    scheduled_.insert(id);
+    return id;
+  }
+
+  /// Schedule `fn` `delay` ticks from now.
+  std::uint64_t schedule_in(Step delay, Handler fn) {
+    CG_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a scheduled event; returns false if it already fired or was
+  /// cancelled before (the heap entry becomes a tombstone).
+  bool cancel(std::uint64_t id) { return scheduled_.erase(id) > 0; }
+
+  Step now() const { return now_; }
+  bool empty() const { return scheduled_.empty(); }
+  std::size_t pending() const { return scheduled_.size(); }
+
+  /// Fire the next event; returns false if none remain.
+  bool run_one() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (scheduled_.erase(e.id) == 0) continue;  // tombstone (cancelled)
+      CG_CHECK(e.at >= now_);
+      now_ = e.at;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the queue is empty or `max_events` fired. Returns events fired.
+  std::size_t run(std::size_t max_events = SIZE_MAX) {
+    std::size_t fired = 0;
+    while (fired < max_events && run_one()) ++fired;
+    return fired;
+  }
+
+  /// Fire all events with time <= horizon. Returns events fired.
+  /// Advances now() to horizon even if the queue drains earlier.
+  std::size_t run_until(Step horizon) {
+    std::size_t fired = 0;
+    for (;;) {
+      // Skip tombstones to see the true next event time.
+      while (!heap_.empty() && scheduled_.count(heap_.top().id) == 0) heap_.pop();
+      if (heap_.empty() || heap_.top().at > horizon) break;
+      if (run_one()) ++fired;
+    }
+    now_ = std::max(now_, horizon);
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    Step at;
+    std::uint64_t id;
+    Handler fn;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : id > o.id;  // stable: FIFO within a time
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> scheduled_;
+  std::uint64_t next_id_ = 0;
+  Step now_ = 0;
+};
+
+}  // namespace cg

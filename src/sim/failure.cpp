@@ -1,0 +1,57 @@
+#include "sim/failure.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+FailureSchedule FailureSchedule::random(NodeId n, int n_pre, int n_online,
+                                        Step horizon, Xoshiro256& rng,
+                                        NodeId root, bool root_can_fail) {
+  CG_CHECK(n >= 1);
+  CG_CHECK(n_pre >= 0 && n_online >= 0);
+  const int excluded = root_can_fail ? 0 : 1;
+  CG_CHECK_MSG(n_pre + n_online <= n - excluded,
+               "more failures requested than failable nodes");
+
+  FailureSchedule fs;
+  std::unordered_set<NodeId> used;
+  if (!root_can_fail) used.insert(root);
+
+  auto pick = [&]() {
+    for (;;) {
+      const auto cand =
+          static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      if (used.insert(cand).second) return cand;
+    }
+  };
+
+  fs.pre_failed.reserve(static_cast<std::size_t>(n_pre));
+  for (int i = 0; i < n_pre; ++i) fs.pre_failed.push_back(pick());
+
+  fs.online.reserve(static_cast<std::size_t>(n_online));
+  for (int i = 0; i < n_online; ++i) {
+    const Step at = horizon > 0 ? rng.uniform(0, horizon - 1) : 0;
+    fs.online.push_back({pick(), at});
+  }
+  return fs;
+}
+
+FailureSchedule FailureSchedule::contiguous(NodeId n, NodeId first, int count,
+                                            Step at_step) {
+  CG_CHECK(n >= 1 && count >= 0 && count < n);
+  FailureSchedule fs;
+  for (int k = 0; k < count; ++k) {
+    const auto node = static_cast<NodeId>(
+        (static_cast<std::int64_t>(first) + k) % n);
+    if (at_step < 0) {
+      fs.pre_failed.push_back(node);
+    } else {
+      fs.online.push_back({node, at_step});
+    }
+  }
+  return fs;
+}
+
+}  // namespace cg

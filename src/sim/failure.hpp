@@ -1,0 +1,54 @@
+// Failure schedules: which nodes are inactive from the start and which
+// crash at a given simulated step (Section II crash-failure model).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+struct OnlineFailure {
+  NodeId node = kNoNode;
+  Step at_step = 0;  ///< node performs no action at or after this step
+};
+
+struct FailureSchedule {
+  /// Nodes inactive before the broadcast starts (set F at t=0).
+  std::vector<NodeId> pre_failed;
+  /// Nodes that crash while the algorithm runs.
+  std::vector<OnlineFailure> online;
+
+  bool empty() const { return pre_failed.empty() && online.empty(); }
+
+  std::size_t online_count() const { return online.size(); }
+
+  /// Sample a schedule with `n_pre` distinct pre-failed nodes and `n_online`
+  /// distinct online failures at uniform steps in [0, horizon).  The root is
+  /// excluded unless `root_can_fail`.  Pre-failed and online sets are
+  /// disjoint (a node crashes at most once).
+  static FailureSchedule random(NodeId n, int n_pre, int n_online, Step horizon,
+                                Xoshiro256& rng, NodeId root = 0,
+                                bool root_can_fail = false);
+
+  /// Adversarial pattern for the ring-based correction phases: `count`
+  /// CONSECUTIVE ring positions starting at `first` fail (pre-failed when
+  /// at_step < 0, otherwise online at that step).  A contiguous dead block
+  /// is the worst case for ring sweeps - it maximizes the chain the
+  /// survivors must cover.
+  static FailureSchedule contiguous(NodeId n, NodeId first, int count,
+                                    Step at_step = -1);
+
+  /// Expected number of node failures in a `job_hours`-long job on `n` nodes
+  /// with the given per-node MTBF (paper Section IV-C:
+  /// f_bar(N) = job_hours * N / mtbf_hours; TSUBAME 2.0 MTBF = 18304 h).
+  static double expected_failures(NodeId n, double job_hours = 12.0,
+                                  double mtbf_hours = 18304.0) {
+    return job_hours * static_cast<double>(n) / mtbf_hours;
+  }
+};
+
+}  // namespace cg

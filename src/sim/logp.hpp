@@ -1,0 +1,44 @@
+// LogP-style cost model used by the paper (Section II).
+//
+// The paper assumes latency L and per-message CPU overhead O with L
+// divisible by O, full-duplex endpoints, and gap g << o.  The simulator
+// discretizes time in steps of O:
+//
+//   * a node colored (holding the message) at step c may emit one message
+//     per step starting at step c+1;
+//   * a message emitted at step s is delivered & processed at step
+//     s + L/O + 1 (the "+1" is the receive overhead O, matching the
+//     `time += L/O + 1` counter update in Algorithms 1-3).
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+struct LogP {
+  /// L / O: wire latency expressed in steps (integer per the paper).
+  Step l_over_o = 1;
+  /// O in microseconds; only used to convert steps to wall time for reports.
+  double o_us = 1.0;
+
+  /// Steps from emission to processing at the receiver (= L/O + 1).
+  constexpr Step delivery_delay() const { return l_over_o + 1; }
+
+  /// Convert a step count to microseconds (1 step = O).
+  constexpr double us(Step steps) const { return static_cast<double>(steps) * o_us; }
+
+  /// L in microseconds.
+  constexpr double l_us() const { return static_cast<double>(l_over_o) * o_us; }
+
+  constexpr void validate() const { CG_CHECK(l_over_o >= 0 && o_us > 0.0); }
+
+  /// The paper's toy setting L = O = 1 (Figures 1, 3, 5, 9).
+  static constexpr LogP unit() { return LogP{.l_over_o = 1, .o_us = 1.0}; }
+
+  /// Piz Daint (Cray XC30, Aries) parameters used for Table 7 / Figure 7:
+  /// L = 2 us, O = 1 us.
+  static constexpr LogP piz_daint() { return LogP{.l_over_o = 2, .o_us = 1.0}; }
+};
+
+}  // namespace cg

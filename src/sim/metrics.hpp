@@ -1,0 +1,58 @@
+// Per-run outcome of a simulated broadcast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cg {
+
+struct RunMetrics {
+  // --- population -----------------------------------------------------
+  NodeId n_total = 0;       ///< N: size of the static name space
+  NodeId n_active = 0;      ///< nodes still active at the end of the run
+  NodeId n_colored = 0;     ///< active nodes that received the payload
+  NodeId n_delivered = 0;   ///< active nodes that *delivered* (FCG semantics)
+
+  // --- timing (steps of O; kNever if the event did not happen) ---------
+  Step t_last_colored = kNever;    ///< last active node got the payload
+  Step t_last_colored_partial = 0; ///< last coloring among REACHED nodes
+  Step t_last_delivered = kNever;  ///< last active node delivered
+  Step t_complete = kNever;        ///< last active colored node exited
+  Step t_root_complete = kNever;   ///< root's completion (BFB's ack-to-root)
+  Step t_end = 0;                  ///< step at which the simulation stopped
+
+  // --- work (message counts, paper's "work" metric) --------------------
+  std::int64_t msgs_total = 0;
+  std::int64_t msgs_gossip = 0;
+  std::int64_t msgs_correction = 0;  ///< OCG/CCG/FCG ring messages
+  std::int64_t msgs_sos = 0;
+  std::int64_t msgs_tree = 0;        ///< BIG/BFB tree + ack/nack messages
+
+  // --- flags ------------------------------------------------------------
+  bool all_active_colored = false;
+  bool all_active_delivered = false;
+  bool sos_triggered = false;
+  bool hit_max_steps = false;   ///< safety stop fired (indicates livelock/bug)
+  int bfb_restarts = 0;         ///< BFB baseline: number of tree restarts
+
+  /// Fraction of active nodes NOT reached (paper's "inconsistency").
+  double inconsistency() const {
+    return n_active == 0 ? 0.0
+                         : static_cast<double>(n_active - n_colored) /
+                               static_cast<double>(n_active);
+  }
+
+  /// FCG all-or-nothing check: every active node delivered, or none did.
+  bool all_or_nothing_delivery() const {
+    return n_delivered == 0 || n_delivered == n_active;
+  }
+
+  // Optional per-node detail (filled when RunConfig::record_node_detail).
+  std::vector<Step> colored_at;    ///< step each node got the payload (kNever otherwise)
+  std::vector<Step> delivered_at;
+  std::vector<Step> completed_at;
+};
+
+}  // namespace cg

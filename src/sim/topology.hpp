@@ -1,0 +1,52 @@
+// Deterministic per-link latency models (RunConfig::link_extra).
+//
+// The paper assumes a flat network (any-to-any latency L).  Real machines
+// are hierarchical: rack-local hops are cheaper than cross-rack hops.
+// These helpers build link_extra functions for such studies; the
+// interesting observation (bench/ext_hierarchical) is that with
+// rack-contiguous node ids the correction phase of corrected gossip is
+// ring-local and therefore almost entirely intra-rack, while BIG's
+// power-of-two offsets and the gossip phase's uniform targets pay the
+// cross-rack penalty on most messages.
+#pragma once
+
+#include <functional>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+/// Two-level hierarchy: nodes i and j in the same rack (i / rack_size ==
+/// j / rack_size) communicate with no extra delay; cross-rack messages pay
+/// `inter_extra` additional steps.
+inline std::function<Step(NodeId, NodeId)> two_level_topology(
+    NodeId rack_size, Step inter_extra) {
+  CG_CHECK(rack_size >= 1);
+  CG_CHECK(inter_extra >= 0);
+  return [rack_size, inter_extra](NodeId from, NodeId to) -> Step {
+    return (from / rack_size == to / rack_size) ? 0 : inter_extra;
+  };
+}
+
+/// Fraction of a protocol's messages that crossed racks, given a trace of
+/// (from, to) pairs - used by tests and the hierarchical bench.
+struct CrossRackCounter {
+  NodeId rack_size;
+  std::int64_t local = 0;
+  std::int64_t cross = 0;
+
+  void count(NodeId from, NodeId to) {
+    if (from / rack_size == to / rack_size)
+      ++local;
+    else
+      ++cross;
+  }
+  double cross_fraction() const {
+    const auto total = local + cross;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cross) / static_cast<double>(total);
+  }
+};
+
+}  // namespace cg

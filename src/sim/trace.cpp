@@ -1,0 +1,39 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace cg {
+
+const char* trace_kind_name(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kDeliver: return "recv";
+    case TraceEvent::Kind::kColored: return "colored";
+    case TraceEvent::Kind::kDelivered: return "delivered";
+    case TraceEvent::Kind::kComplete: return "complete";
+    case TraceEvent::Kind::kFail: return "fail";
+  }
+  return "?";
+}
+
+std::string VectorTrace::to_string() const {
+  std::string out;
+  char buf[128];
+  for (const auto& ev : events_) {
+    int n = 0;
+    if (ev.kind == TraceEvent::Kind::kSend || ev.kind == TraceEvent::Kind::kDeliver) {
+      n = std::snprintf(buf, sizeof(buf), "t=%3lld  %-9s node %3d %s node %3d  [%s]\n",
+                        static_cast<long long>(ev.step), trace_kind_name(ev.kind),
+                        ev.node, ev.kind == TraceEvent::Kind::kSend ? "->" : "<-",
+                        ev.peer, tag_name(ev.tag));
+    } else {
+      n = std::snprintf(buf, sizeof(buf), "t=%3lld  %-9s node %3d\n",
+                        static_cast<long long>(ev.step), trace_kind_name(ev.kind),
+                        ev.node);
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace cg

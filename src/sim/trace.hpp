@@ -1,0 +1,53 @@
+// Optional event tracing, used by the worked-example programs that
+// reproduce Figures 2, 4 and 6 and by debugging tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,      ///< node emitted a message to peer
+    kDeliver,   ///< message from peer processed at node
+    kColored,   ///< node obtained the payload
+    kDelivered, ///< node formally delivered (FCG semantics)
+    kComplete,  ///< node exited the algorithm
+    kFail,      ///< node crashed
+  };
+
+  Step step = 0;
+  Kind kind = Kind::kSend;
+  NodeId node = kNoNode;
+  NodeId peer = kNoNode;       ///< send target / message source (if any)
+  Tag tag = Tag::kGossip;      ///< for kSend / kDeliver
+};
+
+const char* trace_kind_name(TraceEvent::Kind k);
+
+/// Abstract sink; the engine calls this if RunConfig::trace is set.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+/// Collects every event in memory.
+class VectorTrace final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& ev) override { events_.push_back(ev); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Human-readable one-line-per-event dump.
+  std::string to_string() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cg

@@ -1,0 +1,199 @@
+// Adversarial schedules for the failure-proof guarantees: systematic
+// grids over WHO dies WHEN, targeting the correction phase's weakest
+// moments (mid-sweep, during finalization, around gap edges), plus
+// engine-misuse death tests for the CG_CHECK contracts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gossip/fcg.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+std::shared_ptr<std::vector<std::uint8_t>> bitmap(NodeId n,
+                                                  const std::vector<NodeId>& s) {
+  auto bm = std::make_shared<std::vector<std::uint8_t>>(n, 0);
+  for (const NodeId i : s) (*bm)[static_cast<std::size_t>(i)] = 1;
+  return bm;
+}
+
+/// Seeded-g-set FCG with one scripted kill; returns the metrics.
+RunMetrics fcg_kill(NodeId n, const std::vector<NodeId>& g_set, int f,
+                    NodeId victim, Step at) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  cfg.failures.online.push_back({victim, at});
+  FcgNode::Params p;
+  p.T = 0;
+  p.f = f;
+  p.seed_colored = bitmap(n, g_set);
+  Engine<FcgNode> eng(cfg, p);
+  return eng.run();
+}
+
+class FcgKillGrid
+    : public ::testing::TestWithParam<std::tuple<NodeId, Step>> {};
+
+TEST_P(FcgKillGrid, AnySingleKillAnywhereAnytimeIsAllOrNothing) {
+  // Ring of 24 with g-nodes {0, 6, 13, 19}: kill each position at each
+  // phase of the run (f = 1 tolerates one online failure).
+  const auto [victim, at] = GetParam();
+  if (victim == 0) return;  // root exclusion matches property III's premise
+  const RunMetrics m = fcg_kill(24, {6, 13, 19}, 1, victim, at);
+  ASSERT_TRUE(m.all_or_nothing_delivery())
+      << "victim=" << victim << " at=" << at;
+  ASSERT_TRUE(m.all_active_delivered) << "victim=" << victim << " at=" << at;
+  ASSERT_FALSE(m.hit_max_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FcgKillGrid,
+    ::testing::Combine(::testing::Values<NodeId>(1, 5, 6, 7, 13, 18, 19, 23),
+                       ::testing::Values<Step>(2, 3, 5, 8, 12, 18, 30)));
+
+TEST(FcgAdversarial, KillBothNeighborsOfAGap) {
+  // g-nodes {0, 8, 16} on a 24-ring; kill 8 and 16 (the two g-nodes
+  // flanking two full gaps) mid-correction with f = 2.
+  for (const Step at : {3, 6, 10, 16}) {
+    RunConfig cfg;
+    cfg.n = 24;
+    cfg.logp = LogP::unit();
+    cfg.seed = 2;
+    cfg.failures.online.push_back({8, at});
+    cfg.failures.online.push_back({16, at + 1});
+    FcgNode::Params p;
+    p.T = 0;
+    p.f = 2;
+    p.seed_colored = bitmap(24, {8, 16});
+    Engine<FcgNode> eng(cfg, p);
+    const RunMetrics m = eng.run();
+    ASSERT_TRUE(m.all_or_nothing_delivery()) << "at=" << at;
+    ASSERT_TRUE(m.all_active_delivered) << "at=" << at;
+  }
+}
+
+TEST(FcgAdversarial, GossipKillsStackedOnCorrectionKills) {
+  // Failures straddling the phase boundary: some during gossip (Corollary
+  // 3 says any number is fine) plus exactly f during correction.
+  RunConfig cfg;
+  cfg.n = 128;
+  cfg.logp = LogP::unit();
+  cfg.seed = 3;
+  for (int k = 0; k < 6; ++k)  // gossip-phase crashes (unbounded per Cor. 3)
+    cfg.failures.online.push_back({static_cast<NodeId>(30 + k),
+                                   static_cast<Step>(2 + k)});
+  cfg.failures.online.push_back({64, 20});  // correction-phase crash (<= f)
+  AlgoConfig acfg;
+  acfg.T = 12;
+  acfg.fcg_f = 1;
+  const RunMetrics m = run_once(Algo::kFcg, acfg, cfg);
+  EXPECT_TRUE(m.all_or_nothing_delivery());
+  EXPECT_TRUE(m.all_active_delivered);
+}
+
+TEST(CcgAdversarial, KillAtEveryStepStillTerminates) {
+  // CCG makes no delivery promise under online failures, but it must
+  // never hang: whatever dies whenever, the run ends on its own.
+  for (Step at = 2; at <= 26; at += 3) {
+    RunConfig cfg;
+    cfg.n = 64;
+    cfg.logp = LogP::unit();
+    cfg.seed = 4;
+    cfg.failures.online.push_back({21, at});
+    cfg.failures.online.push_back({40, at + 1});
+    AlgoConfig acfg;
+    acfg.T = 10;
+    const RunMetrics m = run_once(Algo::kCcg, acfg, cfg);
+    ASSERT_FALSE(m.hit_max_steps) << "at=" << at;
+    ASSERT_NE(m.t_complete, kNever) << "at=" << at;
+  }
+}
+
+// ------------------------------------------------ contract death tests --
+
+/// A deliberately broken protocol that sends to itself.
+struct SelfSender {
+  struct Params {};
+  SelfSender(const Params&, NodeId, NodeId) {}
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    if (ctx.is_root()) ctx.mark_colored();
+  }
+  template <class Ctx>
+  void on_receive(Ctx&, const Message&) {}
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    Message m;
+    ctx.send(ctx.self(), m);  // contract violation
+  }
+};
+
+/// A deliberately broken protocol that emits twice per step.
+struct DoubleSender {
+  struct Params {};
+  DoubleSender(const Params&, NodeId, NodeId) {}
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    if (ctx.is_root()) ctx.mark_colored();
+  }
+  template <class Ctx>
+  void on_receive(Ctx&, const Message&) {}
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    Message m;
+    m.tag = Tag::kGossip;
+    ctx.send(1, m);
+    ctx.send(2, m);  // second emission in the same step: violates LogP O
+  }
+};
+
+using EngineContractDeathTest = ::testing::Test;
+
+TEST(EngineContractDeathTest, SelfSendAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  EXPECT_DEATH(
+      {
+        Engine<SelfSender> eng(cfg, {});
+        eng.run();
+      },
+      "message to itself");
+}
+
+TEST(EngineContractDeathTest, DoubleSendAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  EXPECT_DEATH(
+      {
+        Engine<DoubleSender> eng(cfg, {});
+        eng.run();
+      },
+      ">1 message in one step");
+}
+
+TEST(EngineContractDeathTest, RootMustBeAliveAtStart) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.logp = LogP::unit();
+  cfg.failures.pre_failed = {0};
+  EXPECT_DEATH(
+      {
+        Engine<SelfSender> eng(cfg, {});
+        eng.run();
+      },
+      "root must be active");
+}
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,151 @@
+// Event-driven engine: exact agreement with the stepped engine for every
+// corrected-gossip protocol, across sizes, failures, jitter, and
+// heterogeneous link delays.
+#include <gtest/gtest.h>
+
+#include "gossip/ccg.hpp"
+#include "gossip/fcg.hpp"
+#include "gossip/gos.hpp"
+#include "gossip/ocg.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/topology.hpp"
+
+namespace cg {
+namespace {
+
+void expect_same(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.n_active, b.n_active);
+  EXPECT_EQ(a.n_colored, b.n_colored);
+  EXPECT_EQ(a.n_delivered, b.n_delivered);
+  EXPECT_EQ(a.msgs_total, b.msgs_total);
+  EXPECT_EQ(a.msgs_gossip, b.msgs_gossip);
+  EXPECT_EQ(a.msgs_correction, b.msgs_correction);
+  EXPECT_EQ(a.msgs_sos, b.msgs_sos);
+  EXPECT_EQ(a.t_last_colored, b.t_last_colored);
+  EXPECT_EQ(a.t_last_colored_partial, b.t_last_colored_partial);
+  EXPECT_EQ(a.t_complete, b.t_complete);
+  EXPECT_EQ(a.all_active_colored, b.all_active_colored);
+  EXPECT_EQ(a.all_active_delivered, b.all_active_delivered);
+}
+
+RunConfig cfg_n(NodeId n, std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP::unit();
+  cfg.seed = seed;
+  return cfg;
+}
+
+class AsyncMatchesStepped
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(AsyncMatchesStepped, Gos) {
+  const auto [n, seed] = GetParam();
+  GosNode::Params p;
+  p.T = 16;
+  Engine<GosNode> stepped(cfg_n(n, seed), p);
+  AsyncEngine<GosNode> async(cfg_n(n, seed), p);
+  expect_same(stepped.run(), async.run());
+}
+
+TEST_P(AsyncMatchesStepped, Ocg) {
+  const auto [n, seed] = GetParam();
+  OcgNode::Params p;
+  p.T = 14;
+  p.corr_sends = 10;
+  Engine<OcgNode> stepped(cfg_n(n, seed), p);
+  AsyncEngine<OcgNode> async(cfg_n(n, seed), p);
+  expect_same(stepped.run(), async.run());
+}
+
+TEST_P(AsyncMatchesStepped, Ccg) {
+  const auto [n, seed] = GetParam();
+  CcgNode::Params p;
+  p.T = 14;
+  Engine<CcgNode> stepped(cfg_n(n, seed), p);
+  AsyncEngine<CcgNode> async(cfg_n(n, seed), p);
+  expect_same(stepped.run(), async.run());
+}
+
+TEST_P(AsyncMatchesStepped, Fcg) {
+  const auto [n, seed] = GetParam();
+  FcgNode::Params p;
+  p.T = 14;
+  p.f = 1;
+  Engine<FcgNode> stepped(cfg_n(n, seed), p);
+  AsyncEngine<FcgNode> async(cfg_n(n, seed), p);
+  expect_same(stepped.run(), async.run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AsyncMatchesStepped,
+    ::testing::Combine(::testing::Values<NodeId>(17, 64, 200),
+                       ::testing::Values<std::uint64_t>(1, 5, 9)));
+
+TEST(AsyncEngineTest, MatchesWithOnlineFailures) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RunConfig cfg = cfg_n(150, seed);
+    cfg.failures.pre_failed = {3, 77};
+    cfg.failures.online.push_back({40, 9});
+    cfg.failures.online.push_back({95, 17});
+    FcgNode::Params p;
+    p.T = 13;
+    p.f = 2;
+    Engine<FcgNode> stepped(cfg, p);
+    AsyncEngine<FcgNode> async(cfg, p);
+    expect_same(stepped.run(), async.run());
+  }
+}
+
+TEST(AsyncEngineTest, MatchesWithJitter) {
+  RunConfig cfg = cfg_n(120, 4);
+  cfg.jitter_max = 3;
+  CcgNode::Params p;
+  p.T = 13;
+  Engine<CcgNode> stepped(cfg, p);
+  AsyncEngine<CcgNode> async(cfg, p);
+  expect_same(stepped.run(), async.run());
+}
+
+TEST(AsyncEngineTest, MatchesWithHeterogeneousLinks) {
+  RunConfig cfg = cfg_n(128, 8);
+  cfg.link_extra = two_level_topology(16, 4);
+  cfg.link_extra_max = 4;
+  CcgNode::Params p;
+  p.T = 15;
+  p.drain_extra = 4;
+  Engine<CcgNode> stepped(cfg, p);
+  AsyncEngine<CcgNode> async(cfg, p);
+  const RunMetrics a = stepped.run();
+  const RunMetrics b = async.run();
+  expect_same(a, b);
+  EXPECT_TRUE(b.all_active_colored);
+}
+
+TEST(AsyncEngineTest, SosPathMatches) {
+  // Lone root with f=1 wraps into SOS; both engines must agree on the
+  // flood's full accounting.
+  RunConfig cfg = cfg_n(24, 2);
+  FcgNode::Params p;
+  p.T = 0;
+  p.f = 1;
+  Engine<FcgNode> stepped(cfg, p);
+  AsyncEngine<FcgNode> async(cfg, p);
+  const RunMetrics a = stepped.run();
+  const RunMetrics b = async.run();
+  EXPECT_TRUE(a.sos_triggered);
+  expect_same(a, b);
+}
+
+TEST(AsyncEngineTest, MaxStepsSafety) {
+  RunConfig cfg = cfg_n(8, 1);
+  cfg.max_steps = 5;
+  GosNode::Params p;
+  p.T = 100;  // would run far longer
+  AsyncEngine<GosNode> async(cfg, p);
+  const RunMetrics m = async.run();
+  EXPECT_TRUE(m.hit_max_steps);
+}
+
+}  // namespace
+}  // namespace cg

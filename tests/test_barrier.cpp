@@ -1,0 +1,123 @@
+// Corrected-gossip barrier: the barrier property (nobody releases before
+// everyone arrived), skewed arrivals, non-zero coordinators, scaling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "collectives/barrier.hpp"
+#include "sim/engine.hpp"
+
+namespace cg {
+namespace {
+
+struct BarrierOutcome {
+  Step last_arrival = 0;
+  Step first_release = kNever;
+  Step last_release = 0;
+  bool all_released = true;
+  RunMetrics metrics;
+};
+
+BarrierOutcome run_barrier(NodeId n, std::vector<Step> arrivals,
+                           NodeId coordinator, Step T_release,
+                           std::uint64_t seed) {
+  BarrierNode::Params p;
+  p.coordinator = coordinator;
+  p.T_release = T_release;
+  if (!arrivals.empty())
+    p.arrivals = std::make_shared<const std::vector<Step>>(arrivals);
+
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.root = coordinator;
+  cfg.logp = LogP::unit();
+  cfg.seed = seed;
+  Engine<BarrierNode> eng(cfg, p);
+
+  BarrierOutcome out;
+  out.metrics = eng.run();
+  for (NodeId i = 0; i < n; ++i) {
+    out.last_arrival = std::max(out.last_arrival, eng.node(i).arrival());
+    const Step r = eng.node(i).released_at();
+    if (r == kNever) {
+      out.all_released = false;
+    } else {
+      out.first_release = std::min(out.first_release, r);
+      out.last_release = std::max(out.last_release, r);
+    }
+  }
+  return out;
+}
+
+TEST(Barrier, EveryoneReleasesAfterEveryoneArrived) {
+  const BarrierOutcome out = run_barrier(64, {}, 0, 10, 1);
+  EXPECT_TRUE(out.all_released);
+  EXPECT_GE(out.first_release, out.last_arrival);  // the barrier property
+  EXPECT_FALSE(out.metrics.hit_max_steps);
+}
+
+TEST(Barrier, SkewedArrivalsGateTheRelease) {
+  std::vector<Step> arrivals(96, 0);
+  arrivals[40] = 50;  // one straggler
+  const BarrierOutcome out = run_barrier(96, arrivals, 0, 10, 2);
+  EXPECT_TRUE(out.all_released);
+  EXPECT_GE(out.first_release, 50);  // nobody escapes before the straggler
+}
+
+TEST(Barrier, RandomSkew) {
+  Xoshiro256 rng(7);
+  std::vector<Step> arrivals(80);
+  Step last = 0;
+  for (auto& a : arrivals) {
+    a = rng.uniform(0, 30);
+    last = std::max(last, a);
+  }
+  const BarrierOutcome out = run_barrier(80, arrivals, 0, 10, 3);
+  EXPECT_TRUE(out.all_released);
+  EXPECT_GE(out.first_release, last);
+}
+
+TEST(Barrier, NonZeroCoordinator) {
+  const BarrierOutcome out = run_barrier(64, {}, 17, 10, 4);
+  EXPECT_TRUE(out.all_released);
+  EXPECT_GE(out.first_release, out.last_arrival);
+}
+
+TEST(Barrier, SingleNode) {
+  const BarrierOutcome out = run_barrier(1, {}, 0, 4, 5);
+  EXPECT_TRUE(out.all_released);
+}
+
+TEST(Barrier, TwoNodes) {
+  const BarrierOutcome out = run_barrier(2, {0, 7}, 0, 4, 6);
+  EXPECT_TRUE(out.all_released);
+  EXPECT_GE(out.first_release, 7);
+}
+
+class BarrierSweep
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(BarrierSweep, PropertyHoldsAcrossSizesAndSeeds) {
+  const auto [n, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  std::vector<Step> arrivals(static_cast<std::size_t>(n));
+  Step last = 0;
+  for (auto& a : arrivals) {
+    a = rng.uniform(0, 20);
+    last = std::max(last, a);
+  }
+  const BarrierOutcome out = run_barrier(n, arrivals, 0, 12, seed);
+  EXPECT_TRUE(out.all_released);
+  EXPECT_GE(out.first_release, last);
+  EXPECT_FALSE(out.metrics.hit_max_steps);
+  // Release spread is the corrected-gossip dissemination window, not O(N).
+  EXPECT_LT(out.last_release - out.first_release, 3 * 12 + 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BarrierSweep,
+    ::testing::Combine(::testing::Values<NodeId>(16, 64, 200),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,199 @@
+// Baseline broadcasts: BIG dissemination, BFB restart tree, OPT schedule -
+// correctness and agreement with their analytic models.
+#include <gtest/gtest.h>
+
+#include "analysis/baseline_models.hpp"
+#include "baselines/bfb.hpp"
+#include "baselines/big.hpp"
+#include "baselines/opt_tree.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+RunConfig cfg_n(NodeId n, std::uint64_t seed = 1, Step l_over_o = 2) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP{.l_over_o = l_over_o, .o_us = 1.0};
+  cfg.seed = seed;
+  cfg.record_node_detail = true;
+  return cfg;
+}
+
+// ----------------------------------------------------------------- BIG --
+
+TEST(Big, NeighborOffsetsArePowersOfTwo) {
+  EXPECT_EQ(big_neighbor_offsets(4096).size(), 12u);
+  EXPECT_EQ(big_neighbor_offsets(16), (std::vector<NodeId>{1, 2, 4, 8}));
+  EXPECT_EQ(big_neighbor_offsets(10), (std::vector<NodeId>{1, 2, 4, 8}));
+  EXPECT_EQ(big_neighbor_offsets(1), (std::vector<NodeId>{}));
+}
+
+TEST(Big, WorkIsExactlyNLogN) {
+  const RunMetrics m = run_once(Algo::kBig, {}, cfg_n(256));
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_EQ(m.msgs_total, big_work(256));  // 256 * 8
+}
+
+TEST(Big, LatencyNearAnalyticModel) {
+  for (const NodeId n : {64, 256, 1024}) {
+    const RunMetrics m = run_once(Algo::kBig, {}, cfg_n(n));
+    ASSERT_TRUE(m.all_active_colored);
+    const double pred = big_latency_us(n, LogP::piz_daint());
+    const double sim = static_cast<double>(m.t_last_colored);
+    // Same shape; the ascending-neighbor order is within ~25% of the model.
+    EXPECT_NEAR(sim, pred, 0.25 * pred) << "n=" << n;
+  }
+}
+
+TEST(Big, ToleratesUpToLogNMinusOneFailures) {
+  // 8 = log2(256); graph stays connected for any log2(N)-1 = 7 pre-failures.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunConfig cfg = cfg_n(256, seed);
+    Xoshiro256 frng(seed * 77);
+    cfg.failures =
+        FailureSchedule::random(256, big_max_failures(256), 0, 0, frng);
+    const RunMetrics m = run_once(Algo::kBig, {}, cfg);
+    EXPECT_TRUE(m.all_active_colored) << "seed=" << seed;
+  }
+}
+
+TEST(Big, WorkUnchangedByFailures) {
+  RunConfig cfg = cfg_n(128);
+  cfg.failures.pre_failed = {3, 40, 77};
+  const RunMetrics m = run_once(Algo::kBig, {}, cfg);
+  // Static routing: alive nodes still blindly send to every neighbor.
+  EXPECT_EQ(m.msgs_total, static_cast<std::int64_t>(125) * 7);
+}
+
+// ----------------------------------------------------------------- BFB --
+
+TEST(Bfb, TreeHelpers) {
+  EXPECT_EQ(bfb_children(0, 8), (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_EQ(bfb_children(1, 8), (std::vector<NodeId>{3, 5}));
+  EXPECT_EQ(bfb_children(2, 8), (std::vector<NodeId>{6}));
+  EXPECT_EQ(bfb_children(3, 8), (std::vector<NodeId>{7}));
+  EXPECT_EQ(bfb_children(7, 8), (std::vector<NodeId>{}));
+  EXPECT_EQ(bfb_parent(1), 0);
+  EXPECT_EQ(bfb_parent(5), 1);
+  EXPECT_EQ(bfb_parent(6), 2);
+  EXPECT_EQ(bfb_parent(7), 3);
+}
+
+TEST(Bfb, EveryRankReachableExactlyOnce) {
+  // The children lists partition ranks 1..m-1 for any m.
+  for (const NodeId m : {2, 3, 7, 16, 100}) {
+    std::vector<int> seen(static_cast<std::size_t>(m), 0);
+    for (NodeId r = 0; r < m; ++r)
+      for (const NodeId c : bfb_children(r, m)) ++seen[static_cast<std::size_t>(c)];
+    EXPECT_EQ(seen[0], 0);
+    for (NodeId r = 1; r < m; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], 1);
+    // parent() inverts children().
+    for (NodeId r = 0; r < m; ++r)
+      for (const NodeId c : bfb_children(r, m)) EXPECT_EQ(bfb_parent(c), r);
+  }
+}
+
+TEST(Bfb, FailureFreeRunAcksToRoot) {
+  const RunMetrics m = run_once(Algo::kBfb, {}, cfg_n(128));
+  EXPECT_TRUE(m.all_active_colored);
+  ASSERT_NE(m.t_root_complete, kNever);
+  // Root completion ~ 2 * (2O+L) * log2(N) per the model, +-35% for the
+  // serialization of child sends.
+  const double pred = bfb_latency_us(128, 0, LogP::piz_daint());
+  EXPECT_NEAR(static_cast<double>(m.t_root_complete), pred, 0.35 * pred);
+}
+
+TEST(Bfb, PreFailedNodesAreExcludedUpFront) {
+  RunConfig cfg = cfg_n(64);
+  cfg.failures.pre_failed = {9, 17, 33};
+  const RunMetrics m = run_once(Algo::kBfb, {}, cfg);
+  EXPECT_EQ(m.n_active, 61);
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_NE(m.t_root_complete, kNever);
+}
+
+TEST(Bfb, OnlineFailureTriggersRestartAndStillCompletes) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig cfg = cfg_n(64, seed);
+    // Kill an early-rank node while the tree is being built.
+    cfg.failures.online.push_back({static_cast<NodeId>(1 + seed % 4), 4});
+    const RunMetrics m = run_once(Algo::kBfb, {}, cfg);
+    EXPECT_TRUE(m.all_active_colored) << "seed=" << seed;
+    EXPECT_NE(m.t_root_complete, kNever);
+    EXPECT_FALSE(m.hit_max_steps);
+  }
+}
+
+TEST(Bfb, LateFailureAfterDeliveryNeedsNoRestart) {
+  RunConfig cfg = cfg_n(32);
+  cfg.failures.online.push_back({31, 200});  // long after completion
+  const RunMetrics m = run_once(Algo::kBfb, {}, cfg);
+  EXPECT_NE(m.t_root_complete, kNever);
+  EXPECT_LT(m.t_root_complete, 200);
+}
+
+TEST(Bfb, ModelValuesMatchPaperTable7) {
+  const LogP pd = LogP::piz_daint();
+  EXPECT_DOUBLE_EQ(bfb_latency_us(4096, 0, pd), 96.0);
+  EXPECT_DOUBLE_EQ(bfb_latency_us(4096, 1, pd), 144.0);
+  EXPECT_EQ(bfb_work(4096, 0), 4096);
+  EXPECT_EQ(bfb_work(4096, 1), 8192);
+  EXPECT_EQ(bfb_online_failures(3), 1);
+  EXPECT_EQ(bfb_online_failures(0), 0);
+}
+
+TEST(Big, ModelValuesMatchPaperTable7) {
+  const LogP pd = LogP::piz_daint();
+  EXPECT_DOUBLE_EQ(big_latency_us(4096, pd), 60.0);
+  EXPECT_EQ(big_work(4096), 49152);
+  EXPECT_EQ(big_max_failures(4096), 11);
+}
+
+// ----------------------------------------------------------------- OPT --
+
+TEST(Opt, ColoringRecurrenceMatchesFigure1) {
+  // L=O=1: f(t)=f(t-1)+f(t-3); N=1024 colored at t=20 (Figure 1 "opt").
+  EXPECT_EQ(opt_latency_steps(1024, LogP::unit()), 20);
+  EXPECT_LT(opt_colored_at(19, LogP::unit()), 1024);
+  EXPECT_GE(opt_colored_at(20, LogP::unit()), 1024);
+}
+
+TEST(Opt, RecurrenceSmallValues) {
+  const LogP unit = LogP::unit();
+  EXPECT_EQ(opt_colored_at(0, unit), 1);
+  EXPECT_EQ(opt_colored_at(2, unit), 1);
+  EXPECT_EQ(opt_colored_at(3, unit), 2);
+  EXPECT_EQ(opt_colored_at(4, unit), 3);
+  EXPECT_EQ(opt_colored_at(5, unit), 4);
+  EXPECT_EQ(opt_colored_at(6, unit), 6);  // 4 + f(3) = 4+2
+}
+
+TEST(Opt, SimulatedScheduleAttainsTheBound) {
+  for (const NodeId n : {2, 16, 100, 512}) {
+    RunConfig cfg = cfg_n(n, 1, 1);  // L=O=1
+    const RunMetrics m = run_once(Algo::kOpt, {}, cfg);
+    ASSERT_TRUE(m.all_active_colored) << n;
+    EXPECT_EQ(m.t_last_colored, opt_latency_steps(n, cfg.logp)) << n;
+    EXPECT_EQ(m.msgs_total, n - 1);  // exactly one message per node
+  }
+}
+
+TEST(Opt, ScheduleColorsEveryRankOnce) {
+  const auto sched = OptSchedule::build(64, LogP::unit());
+  std::vector<int> colored(64, 0);
+  colored[0] = 1;
+  for (const auto& sends : sched->sends)
+    for (const auto& s : sends) ++colored[static_cast<std::size_t>(s.target)];
+  for (int c : colored) EXPECT_EQ(c, 1);
+}
+
+TEST(Opt, NonRootZeroRootWorks) {
+  RunConfig cfg = cfg_n(32, 1, 1);
+  cfg.root = 7;
+  const RunMetrics m = run_once(Algo::kOpt, {}, cfg);
+  EXPECT_TRUE(m.all_active_colored);
+}
+
+}  // namespace
+}  // namespace cg

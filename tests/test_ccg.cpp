@@ -1,0 +1,165 @@
+// CCG correctness (Claim 3): every active node is reached and every node
+// terminates, for arbitrary constructed g-sets and for gossip-produced
+// ones; stop rules fire at the nearest g-node in each direction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gossip/ccg.hpp"
+#include "gossip/timing.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+std::shared_ptr<std::vector<std::uint8_t>> bitmap(NodeId n,
+                                                  const std::vector<NodeId>& set) {
+  auto bm = std::make_shared<std::vector<std::uint8_t>>(n, 0);
+  for (const NodeId i : set) (*bm)[static_cast<std::size_t>(i)] = 1;
+  return bm;
+}
+
+RunMetrics run_seeded(NodeId n, const std::vector<NodeId>& g_set,
+                      const FailureSchedule& failures = {},
+                      VectorTrace* trace = nullptr) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  cfg.failures = failures;
+  cfg.trace = trace;
+  cfg.record_node_detail = true;
+  CcgNode::Params p;
+  p.T = 0;
+  p.seed_colored = bitmap(n, g_set);
+  Engine<CcgNode> eng(cfg, p);
+  return eng.run();
+}
+
+TEST(Ccg, LoneRootColorsWholeRing) {
+  const RunMetrics m = run_seeded(12, {});
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_NE(m.t_complete, kNever);
+  EXPECT_FALSE(m.hit_max_steps);
+}
+
+TEST(Ccg, TwoNodeRing) {
+  const RunMetrics m = run_seeded(2, {});
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_NE(m.t_complete, kNever);
+}
+
+TEST(Ccg, SingleNode) {
+  const RunMetrics m = run_seeded(1, {});
+  EXPECT_TRUE(m.all_active_colored);
+}
+
+TEST(Ccg, StopsAfterHearingNearestGNodes) {
+  // g-nodes 0 (root) and 6 on a 12-ring, gaps 5 each.  The stop signal in
+  // a direction arrives from distance d after ~2d slots, while the sweep
+  // passes offset d at ~2d slots, so exactly one extra forward message
+  // slips out per node (fwd slots run first): 7 fwd + 6 bwd per node.
+  const RunMetrics m = run_seeded(12, {6});
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_EQ(m.msgs_correction, 26);
+}
+
+TEST(Ccg, DenseGSetSendsMinimalMessages) {
+  // All nodes are g-nodes: nearest g-node at distance 1 in each direction.
+  // The forward stop signal (a backward message) lands one slot after the
+  // off=2 forward slot, so each node sends 2 fwd + 1 bwd messages.
+  std::vector<NodeId> all;
+  for (NodeId i = 1; i < 8; ++i) all.push_back(i);
+  const RunMetrics m = run_seeded(8, all);
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_EQ(m.msgs_correction, 24);
+}
+
+TEST(Ccg, CNodesExitImmediatelyAndNeverSend) {
+  VectorTrace trace;
+  const RunMetrics m = run_seeded(16, {8}, {}, &trace);
+  EXPECT_TRUE(m.all_active_colored);
+  for (const auto& ev : trace.events()) {
+    if (ev.kind != TraceEvent::Kind::kSend) continue;
+    EXPECT_TRUE(ev.node == 0 || ev.node == 8)
+        << "c-node " << ev.node << " sent a message";
+  }
+}
+
+TEST(Ccg, AsymmetricGapsTiming) {
+  // g-nodes 0, 2, 9 on a 16-ring: all nodes reached; completion bounded by
+  // ~2*maxgap + flight.
+  const RunMetrics m = run_seeded(16, {2, 9});
+  EXPECT_TRUE(m.all_active_colored);
+  // Largest gap is 9->0 (distance 7): correction needs <= 2*7 slots + L+O.
+  const Step start = corr_start(0, LogP::unit());
+  EXPECT_LE(m.t_complete, start + 2 * 7 + 4);
+}
+
+TEST(Ccg, SurvivesPreFailedNodes) {
+  FailureSchedule fs;
+  fs.pre_failed = {3, 4, 5, 11};
+  const RunMetrics m = run_seeded(16, {8}, fs);
+  EXPECT_EQ(m.n_active, 12);
+  EXPECT_TRUE(m.all_active_colored);  // dead nodes don't block the sweep
+  EXPECT_NE(m.t_complete, kNever);
+}
+
+TEST(Ccg, GossipPlusCorrectionReachesEveryone) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunConfig cfg;
+    cfg.n = 200;
+    cfg.logp = LogP::unit();
+    cfg.seed = seed;
+    AlgoConfig acfg;
+    acfg.T = 10;  // deliberately short gossip: correction must fix a lot
+    const RunMetrics m = run_once(Algo::kCcg, acfg, cfg);
+    EXPECT_TRUE(m.all_active_colored) << "seed " << seed;
+    EXPECT_NE(m.t_complete, kNever);
+    EXPECT_FALSE(m.hit_max_steps);
+  }
+}
+
+TEST(Ccg, RecordedNearestDistancesAreCorrect) {
+  // Probe protocol state directly: g-nodes 0 and 4 on a 12-ring.
+  RunConfig cfg;
+  cfg.n = 12;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  CcgNode::Params p;
+  p.T = 0;
+  p.seed_colored = bitmap(12, {4});
+  Engine<CcgNode> eng(cfg, p);
+  eng.run();
+  EXPECT_EQ(eng.node(0).nearest_fwd(), 4);   // 0 -> 4 forward
+  EXPECT_EQ(eng.node(0).nearest_bwd(), 8);   // 0 -> 4 backward
+  EXPECT_EQ(eng.node(4).nearest_fwd(), 8);
+  EXPECT_EQ(eng.node(4).nearest_bwd(), 4);
+}
+
+class CcgConsistencySweep
+    : public ::testing::TestWithParam<std::tuple<NodeId, Step, std::uint64_t>> {
+};
+
+TEST_P(CcgConsistencySweep, AlwaysStronglyConsistentWithoutOnlineFailures) {
+  const auto [n, T, seed] = GetParam();
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP::unit();
+  cfg.seed = seed;
+  AlgoConfig acfg;
+  acfg.T = T;
+  const RunMetrics m = run_once(Algo::kCcg, acfg, cfg);
+  EXPECT_TRUE(m.all_active_colored) << "n=" << n << " T=" << T;
+  EXPECT_NE(m.t_complete, kNever);
+  EXPECT_FALSE(m.hit_max_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CcgConsistencySweep,
+    ::testing::Combine(::testing::Values<NodeId>(2, 3, 7, 33, 128),
+                       ::testing::Values<Step>(0, 1, 5, 14),
+                       ::testing::Values<std::uint64_t>(1, 7, 42)));
+
+}  // namespace
+}  // namespace cg

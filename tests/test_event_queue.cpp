@@ -1,0 +1,110 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace cg {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(5); });
+  q.schedule_at(1, [&] { order.push_back(1); });
+  q.schedule_at(3, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(q.now(), 5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StableWithinSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(7, [&order, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  Step seen = -1;
+  q.schedule_at(10, [&] { q.schedule_in(5, [&] { seen = q.now(); }); });
+  q.run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule_at(2, [&] { ++fired; });
+  q.schedule_at(1, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const auto id = q.schedule_at(0, [] {});
+  q.run();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, RunUntilHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] { ++fired; });
+  q.schedule_at(5, [&] { ++fired; });
+  q.schedule_at(9, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(5), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 5);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenEmpty) {
+  EventQueue q;
+  q.run_until(42);
+  EXPECT_EQ(q.now(), 42);
+}
+
+TEST(EventQueue, RunMaxEvents) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) q.schedule_in(1, step);
+  };
+  q.schedule_at(0, step);
+  q.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(q.now(), 99);
+}
+
+TEST(EventQueue, PendingCountsLiveOnly) {
+  EventQueue q;
+  const auto a = q.schedule_at(1, [] {});
+  q.schedule_at(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,159 @@
+// GOS (plain gossip) behaviour and the round-based Drezner-Barak reference
+// model, including the paper's Section III claims.
+#include <gtest/gtest.h>
+
+#include "analysis/coloring.hpp"
+#include "gossip/round_gossip.hpp"
+#include "gossip/timing.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+RunMetrics run_gos(NodeId n, Step T, std::uint64_t seed, Step l_over_o = 1,
+                   bool detail = false) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP{.l_over_o = l_over_o, .o_us = 1.0};
+  cfg.seed = seed;
+  cfg.record_node_detail = detail;
+  AlgoConfig acfg;
+  acfg.T = T;
+  return run_once(Algo::kGos, acfg, cfg);
+}
+
+TEST(Gos, RootOnlyWhenTZero) {
+  const RunMetrics m = run_gos(16, 0, 1);
+  EXPECT_EQ(m.n_colored, 1);
+  EXPECT_EQ(m.msgs_total, 0);
+}
+
+TEST(Gos, DeterministicForSeed) {
+  const RunMetrics a = run_gos(128, 20, 99);
+  const RunMetrics b = run_gos(128, 20, 99);
+  EXPECT_EQ(a.n_colored, b.n_colored);
+  EXPECT_EQ(a.msgs_total, b.msgs_total);
+  EXPECT_EQ(a.t_last_colored_partial, b.t_last_colored_partial);
+}
+
+TEST(Gos, ColoringNeverExceedsGossipWindow) {
+  const Step T = 20;
+  const RunMetrics m = run_gos(128, T, 5, 1, true);
+  const Step last_arrival = gossip_drain_end(T, LogP::unit());
+  for (const Step c : m.colored_at) {
+    if (c != kNever) {
+      EXPECT_LE(c, last_arrival);
+    }
+  }
+}
+
+TEST(Gos, CompletionAtPhaseEnd) {
+  const Step T = 20;
+  const RunMetrics m = run_gos(128, T, 5);
+  // All colored nodes complete promptly once the drain window closes.
+  EXPECT_NE(m.t_complete, kNever);
+  EXPECT_GE(m.t_complete, gossip_drain_end(T, LogP::unit()));
+  EXPECT_LE(m.t_complete, gossip_drain_end(T, LogP::unit()) + 1);
+}
+
+TEST(Gos, WorkEqualsSumOfEmissionWindows) {
+  // Every colored node emits once per step from coloring+1 to T-1, so the
+  // message count is exactly sum over colored nodes of max(0, T-1-c).
+  const Step T = 18;
+  const RunMetrics m = run_gos(64, T, 11, 1, true);
+  std::int64_t expected = 0;
+  for (const Step c : m.colored_at)
+    if (c != kNever && c < T - 1) expected += (T - 1) - c;
+  EXPECT_EQ(m.msgs_total, expected);
+}
+
+TEST(Gos, MoreGossipTimeColorsMoreNodes) {
+  double short_run = 0, long_run = 0;
+  for (int s = 0; s < 30; ++s) {
+    short_run += run_gos(256, 10, 100 + s).n_colored;
+    long_run += run_gos(256, 20, 100 + s).n_colored;
+  }
+  EXPECT_GT(long_run, short_run);
+}
+
+TEST(Gos, MatchesAnalyticExpectationAtScale) {
+  // Mean colored count over seeds ~ c(T+L+O) from Eq. (1).
+  const NodeId n = 512;
+  const Step T = 16;
+  double sum = 0;
+  const int trials = 60;
+  for (int s = 0; s < trials; ++s) sum += run_gos(n, T, 400 + s).n_colored;
+  const double pred = colored_at_corr_start(n, n, T, LogP::unit());
+  EXPECT_NEAR(sum / trials, pred, 0.05 * pred);
+}
+
+TEST(Gos, PreFailedNodesNeverColored) {
+  RunConfig cfg;
+  cfg.n = 64;
+  cfg.logp = LogP::unit();
+  cfg.seed = 17;
+  cfg.failures.pre_failed = {5, 6, 7};
+  cfg.record_node_detail = true;
+  AlgoConfig acfg;
+  acfg.T = 30;
+  const RunMetrics m = run_once(Algo::kGos, acfg, cfg);
+  EXPECT_EQ(m.n_active, 61);
+  for (const NodeId dead : {5, 6, 7})
+    EXPECT_EQ(m.colored_at[static_cast<std::size_t>(dead)], kNever);
+}
+
+// ------------------------------------------------------ round gossip --
+
+TEST(RoundGossip, OneRoundColorsTwo) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(round_gossip(100, 1, rng).informed, 2);
+}
+
+TEST(RoundGossip, ZeroRoundsRootOnly) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(round_gossip(100, 0, rng).informed, 1);
+}
+
+TEST(RoundGossip, SingleNode) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(round_gossip(1, 5, rng).informed, 1);
+}
+
+TEST(RoundGossip, DreznerBarakRoundCount) {
+  EXPECT_EQ(drezner_barak_rounds(1000), 17);  // 1.639*log2(1000) = 16.3
+  EXPECT_EQ(drezner_barak_rounds(1024), 17);
+}
+
+TEST(RoundGossip, PaperClaim951PercentIncompleteness) {
+  // Section III: "for N=1,000 and T=17, the gossip colors all the nodes
+  // only 95.1% of the time", i.e., T = 1.639*log2(N) rounds are NOT
+  // enough for certainty.  Our synchronous-round convention is ~2-3
+  // rounds slower than Drezner-Barak's unsynchronized model (a node
+  // informed in round t first sends in round t+1), so the qualitative
+  // claim is: success is far below 100% at T=17 and >= 95% a few rounds
+  // later (see EXPERIMENTS.md).
+  Xoshiro256 rng(2024);
+  const int trials = 1500;
+  int full17 = 0, full21 = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (round_gossip(1000, 17, rng).informed == 1000) ++full17;
+    if (round_gossip(1000, 21, rng).informed == 1000) ++full21;
+  }
+  const double rate17 = static_cast<double>(full17) / trials;
+  const double rate21 = static_cast<double>(full21) / trials;
+  EXPECT_GT(rate17, 0.15);  // substantial but
+  EXPECT_LT(rate17, 0.99);  // clearly not certain
+  EXPECT_GT(rate21, 0.95);  // a few extra rounds give high confidence
+}
+
+TEST(RoundGossip, GrowthIsInitiallyExponential) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int t = 0; t < 50; ++t) sum += round_gossip(100000, 8, rng).informed;
+  // After 8 rounds, between 2^... doubling minus collisions: ~150-256.
+  EXPECT_GT(sum / 50, 120);
+  EXPECT_LE(sum / 50, 256);
+}
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,152 @@
+// Harness: trial aggregation, seeding, thread invariance, failure
+// sampling, and the scenario pipeline.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+#include "sim/failure.hpp"
+
+namespace cg {
+namespace {
+
+TrialSpec base_spec(Algo algo, NodeId n, int trials) {
+  TrialSpec spec;
+  spec.algo = algo;
+  spec.n = n;
+  spec.logp = LogP::unit();
+  spec.seed = 404;
+  spec.trials = trials;
+  spec.acfg.T = 14;
+  spec.acfg.ocg_corr_sends = 10;
+  return spec;
+}
+
+TEST(Harness, AggregateCountsTrials) {
+  const TrialAggregate agg = run_trials(base_spec(Algo::kCcg, 128, 25));
+  EXPECT_EQ(agg.trials, 25);
+  EXPECT_EQ(agg.all_colored_trials, 25);
+  EXPECT_EQ(agg.t_complete.count(), 25u);
+  EXPECT_EQ(agg.hit_max_steps_trials, 0);
+  EXPECT_GT(agg.work.mean(), 0);
+}
+
+TEST(Harness, DeterministicForSeed) {
+  const TrialAggregate a = run_trials(base_spec(Algo::kGos, 128, 10));
+  const TrialAggregate b = run_trials(base_spec(Algo::kGos, 128, 10));
+  EXPECT_DOUBLE_EQ(a.work.mean(), b.work.mean());
+  EXPECT_DOUBLE_EQ(a.inconsistency.mean(), b.inconsistency.mean());
+}
+
+TEST(Harness, DifferentSeedsGiveDifferentRuns) {
+  TrialSpec s1 = base_spec(Algo::kGos, 128, 10);
+  TrialSpec s2 = s1;
+  s2.seed = 405;
+  const TrialAggregate a = run_trials(s1);
+  const TrialAggregate b = run_trials(s2);
+  EXPECT_NE(a.work.mean(), b.work.mean());
+}
+
+TEST(Harness, ThreadCountDoesNotChangeResults) {
+  TrialSpec s1 = base_spec(Algo::kCcg, 100, 16);
+  TrialSpec s4 = s1;
+  s4.threads = 4;
+  const TrialAggregate a = run_trials(s1);
+  const TrialAggregate b = run_trials(s4);
+  EXPECT_EQ(a.trials, b.trials);
+  // Samples are merged per worker; compare order-insensitive summaries.
+  EXPECT_DOUBLE_EQ(a.t_complete.median(), b.t_complete.median());
+  EXPECT_DOUBLE_EQ(a.t_complete.max(), b.t_complete.max());
+  EXPECT_NEAR(a.work.mean(), b.work.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.work.min(), b.work.min());
+  EXPECT_DOUBLE_EQ(a.work.max(), b.work.max());
+}
+
+TEST(Harness, FailureSamplingRespectsCounts) {
+  TrialSpec spec = base_spec(Algo::kFcg, 128, 12);
+  spec.acfg.fcg_f = 2;
+  spec.pre_failures = 5;
+  spec.online_failures = 2;
+  const TrialAggregate agg = run_trials(spec);
+  EXPECT_EQ(agg.trials, 12);
+  EXPECT_EQ(agg.all_or_nothing_violations, 0);
+  EXPECT_EQ(agg.hit_max_steps_trials, 0);
+}
+
+TEST(Harness, InconsistencyTracksGosMisses) {
+  TrialSpec spec = base_spec(Algo::kGos, 256, 30);
+  spec.acfg.T = 10;  // deliberately too short: many nodes missed
+  const TrialAggregate agg = run_trials(spec);
+  EXPECT_GT(agg.inconsistency.mean(), 0.05);
+  EXPECT_LT(agg.all_colored_rate(), 0.5);
+}
+
+TEST(FailureScheduleTest, RandomSchedulesAreValid) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const FailureSchedule fs = FailureSchedule::random(64, 5, 3, 100, rng);
+    EXPECT_EQ(fs.pre_failed.size(), 5u);
+    EXPECT_EQ(fs.online.size(), 3u);
+    std::set<NodeId> all(fs.pre_failed.begin(), fs.pre_failed.end());
+    for (const auto& of : fs.online) {
+      EXPECT_TRUE(all.insert(of.node).second) << "duplicate failure node";
+      EXPECT_GE(of.at_step, 0);
+      EXPECT_LT(of.at_step, 100);
+      EXPECT_NE(of.node, 0);  // root excluded by default
+    }
+    EXPECT_EQ(all.count(0), 0u);
+  }
+}
+
+TEST(FailureScheduleTest, ExpectedFailuresFormula) {
+  // Paper Section IV-C: N=4096, 12h job, MTBF 18304h -> ~2.69 failures.
+  EXPECT_NEAR(FailureSchedule::expected_failures(4096), 2.685, 0.01);
+  // f_bar(N) crosses BIG's tolerance (11) just above N=16778 -> the paper's
+  // "for N > 22,001, BIG may not be consistent" threshold scale.
+  EXPECT_LT(FailureSchedule::expected_failures(16000), 11.0);
+  EXPECT_GT(FailureSchedule::expected_failures(22001), 12.0);
+}
+
+TEST(Scenarios, ReportedLatencyPicksTheRightMetric) {
+  TrialAggregate agg;
+  RunMetrics m;
+  m.n_total = m.n_active = m.n_colored = m.n_delivered = 4;
+  m.all_active_colored = true;
+  m.t_last_colored = 10;
+  m.t_complete = 20;
+  m.t_root_complete = 30;
+  agg.absorb(m);
+  EXPECT_DOUBLE_EQ(reported_latency_steps(Algo::kCcg, agg), 20.0);
+  EXPECT_DOUBLE_EQ(reported_latency_steps(Algo::kBig, agg), 10.0);
+  EXPECT_DOUBLE_EQ(reported_latency_steps(Algo::kBfb, agg), 30.0);
+}
+
+TEST(Scenarios, RunScenarioEndToEnd) {
+  const ScenarioResult r =
+      run_scenario(Algo::kOcg, 256, 4, LogP::piz_daint(), 30, 11, 1e-3);
+  EXPECT_EQ(r.agg.trials, 30);
+  EXPECT_GT(r.lat_us, 0);
+  EXPECT_GT(r.predicted_us, 0);
+  EXPECT_NEAR(r.lat_us, r.predicted_us, 0.35 * r.predicted_us);
+  EXPECT_LT(r.incon, 0.01);
+}
+
+TEST(TrialAggregateTest, MergeAddsEverything) {
+  TrialAggregate a, b;
+  RunMetrics m;
+  m.n_total = m.n_active = m.n_colored = 2;
+  m.t_last_colored = 5;
+  m.all_active_colored = true;
+  m.msgs_total = 10;
+  a.absorb(m);
+  m.msgs_total = 20;
+  b.absorb(m);
+  b.sos_trials = 1;
+  a.merge(b);
+  EXPECT_EQ(a.trials, 2);
+  EXPECT_EQ(a.all_colored_trials, 2);
+  EXPECT_EQ(a.sos_trials, 1);
+  EXPECT_DOUBLE_EQ(a.work.mean(), 15.0);
+}
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,165 @@
+// OCG correctness: sweep coverage, c-node passivity, phase timing, work
+// accounting, and reach-all behaviour vs the tuned correction length.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/tuning.hpp"
+#include "gossip/ocg.hpp"
+#include "gossip/timing.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+std::shared_ptr<std::vector<std::uint8_t>> bitmap(NodeId n,
+                                                  std::vector<NodeId> set) {
+  auto bm = std::make_shared<std::vector<std::uint8_t>>(n, 0);
+  for (const NodeId i : set) (*bm)[static_cast<std::size_t>(i)] = 1;
+  return bm;
+}
+
+RunMetrics run_seeded_ocg(NodeId n, std::vector<NodeId> g_set,
+                          Step corr_sends, bool detail = false) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  cfg.record_node_detail = detail;
+  OcgNode::Params p;
+  p.T = 0;  // no gossip: correction starts from the seeded g-set
+  p.corr_sends = corr_sends;
+  p.seed_colored = bitmap(n, std::move(g_set));
+  Engine<OcgNode> eng(cfg, p);
+  return eng.run();
+}
+
+TEST(Ocg, CorrectionCoversGapOfK) {
+  // g-nodes at 0 and 5 on a 10-ring: gaps of 4 (1..4 and 6..9).  The two
+  // ends cover a gap of length K together in ~K sends.
+  const RunMetrics m = run_seeded_ocg(10, {5}, 5);
+  EXPECT_TRUE(m.all_active_colored);
+}
+
+TEST(Ocg, TooShortSweepMissesNodes) {
+  // Lone root on a 32-ring with only 2 correction sends: covers +1 and -1.
+  const RunMetrics m = run_seeded_ocg(32, {}, 2, true);
+  EXPECT_FALSE(m.all_active_colored);
+  EXPECT_EQ(m.n_colored, 3);  // root, root+1, root-1
+  EXPECT_NE(m.colored_at[1], kNever);
+  EXPECT_NE(m.colored_at[31], kNever);
+  EXPECT_EQ(m.colored_at[2], kNever);
+}
+
+TEST(Ocg, LoneRootFullSweepColorsEveryone) {
+  // 2(N-1) sends walk the whole ring from the root alone.
+  const RunMetrics m = run_seeded_ocg(16, {}, 2 * 15, true);
+  EXPECT_TRUE(m.all_active_colored);
+}
+
+TEST(Ocg, CNodesNeverSend) {
+  // Seeded g-node at 8 on a 16-ring; every node colored during correction
+  // is a c-node and must not emit: work = 2 * corr_sends (two g-nodes:
+  // root + 8) exactly, no gossip.
+  const Step sends = 6;
+  const RunMetrics m = run_seeded_ocg(16, {8}, sends);
+  EXPECT_EQ(m.msgs_gossip, 0);
+  EXPECT_EQ(m.msgs_correction, 2 * sends);
+}
+
+TEST(Ocg, AlternatingSweepPattern) {
+  // With a trace, root's correction targets are +1,-1,+2,-2,...
+  RunConfig cfg;
+  cfg.n = 12;
+  cfg.logp = LogP::unit();
+  cfg.seed = 1;
+  VectorTrace trace;
+  cfg.trace = &trace;
+  OcgNode::Params p;
+  p.T = 0;
+  p.corr_sends = 6;
+  Engine<OcgNode> eng(cfg, p);
+  eng.run();
+  std::vector<NodeId> targets;
+  for (const auto& ev : trace.events())
+    if (ev.kind == TraceEvent::Kind::kSend && ev.node == 0 &&
+        ev.tag == Tag::kOcgCorr)
+      targets.push_back(ev.peer);
+  EXPECT_EQ(targets, (std::vector<NodeId>{1, 11, 2, 10, 3, 9}));
+}
+
+TEST(Ocg, CorrectionStartsAtDocumentedStep) {
+  RunConfig cfg;
+  cfg.n = 8;
+  cfg.logp = LogP{.l_over_o = 2, .o_us = 1.0};
+  cfg.seed = 1;
+  VectorTrace trace;
+  cfg.trace = &trace;
+  OcgNode::Params p;
+  p.T = 5;
+  p.corr_sends = 3;
+  Engine<OcgNode> eng(cfg, p);
+  eng.run();
+  Step first_corr = kNever;
+  for (const auto& ev : trace.events())
+    if (ev.kind == TraceEvent::Kind::kSend && ev.tag == Tag::kOcgCorr)
+      first_corr = std::min(first_corr, ev.step);
+  EXPECT_EQ(first_corr, corr_start(5, cfg.logp));  // T + L/O + 1
+}
+
+TEST(Ocg, GNodeCountMatchesColoredBeforeCorrection) {
+  RunConfig cfg;
+  cfg.n = 64;
+  cfg.logp = LogP::unit();
+  cfg.seed = 77;
+  AlgoConfig acfg;
+  acfg.T = 12;
+  acfg.ocg_corr_sends = 40;
+  const RunMetrics m = run_once(Algo::kOcg, acfg, cfg);
+  EXPECT_TRUE(m.all_active_colored);
+  // Work decomposes into gossip + correction; correction work is
+  // (#g-nodes) * corr_sends minus self-skips (none for corr_sends < N/2).
+  EXPECT_EQ(m.msgs_correction % 40, 0);
+  const std::int64_t g_nodes = m.msgs_correction / 40;
+  EXPECT_GT(g_nodes, 1);
+  EXPECT_LE(g_nodes, 64);
+}
+
+class OcgTunedSweep
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(OcgTunedSweep, TunedParametersReachEveryoneAndMeetTheBound) {
+  const auto [n, seed] = GetParam();
+  const double eps = 1e-3;  // loose budget so 20 trials are meaningful
+  const Tuning t = tune_ocg(n, n, LogP::unit(), eps);
+  AlgoConfig acfg;
+  acfg.T = t.T_opt + 1;
+  acfg.ocg_corr_sends = k_bar_for(n, n, acfg.T, LogP::unit(), eps) + 1;
+  int reached = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::unit();
+    cfg.seed = seed * 1000 + static_cast<std::uint64_t>(i);
+    const RunMetrics m = run_once(Algo::kOcg, acfg, cfg);
+    if (m.all_active_colored) ++reached;
+    EXPECT_FALSE(m.hit_max_steps);
+    // Completion bounded by the schedule end + final flight.
+    OcgNode::Params params;
+    params.T = acfg.T;
+    params.corr_sends = acfg.ocg_corr_sends;
+    const Step sched_end = OcgNode::corr_end(params, LogP::unit());
+    EXPECT_LE(m.t_complete, sched_end + LogP::unit().delivery_delay());
+  }
+  // eps=1e-3: all 20 trials reaching everyone is overwhelmingly likely.
+  EXPECT_EQ(reached, trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, OcgTunedSweep,
+    ::testing::Combine(::testing::Values<NodeId>(32, 128, 512, 1024),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,176 @@
+// Cross-cutting property sweeps: for every algorithm, across sizes, LogP
+// parameters and seeds, check the universal invariants of the model and
+// the per-algorithm consistency guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "gossip/timing.hpp"
+#include "harness/runner.hpp"
+
+namespace cg {
+namespace {
+
+struct SweepCase {
+  Algo algo;
+  NodeId n;
+  Step l_over_o;
+  std::uint64_t seed;
+};
+
+class AlgoSweep : public ::testing::TestWithParam<SweepCase> {};
+
+AlgoConfig config_for(NodeId n) {
+  AlgoConfig acfg;
+  // Gossip long enough to color most nodes at every size in the sweep.
+  acfg.T = 6 + 2 * static_cast<Step>(std::ceil(
+                       std::log2(static_cast<double>(std::max<NodeId>(n, 2)))));
+  acfg.ocg_corr_sends = 2 * n;  // OCG: guarantee full coverage
+  acfg.fcg_f = 1;
+  return acfg;
+}
+
+TEST_P(AlgoSweep, UniversalInvariants) {
+  const SweepCase c = GetParam();
+  RunConfig cfg;
+  cfg.n = c.n;
+  cfg.logp = LogP{.l_over_o = c.l_over_o, .o_us = 1.0};
+  cfg.seed = c.seed;
+  cfg.record_node_detail = true;
+  const AlgoConfig acfg = config_for(c.n);
+  const RunMetrics m = run_once(c.algo, acfg, cfg);
+
+  // Terminates on its own.
+  EXPECT_FALSE(m.hit_max_steps);
+  // Population accounting.
+  EXPECT_EQ(m.n_active, c.n);
+  EXPECT_LE(m.n_colored, m.n_active);
+  EXPECT_LE(m.n_delivered, m.n_colored);
+  // The root holds the message from step 0.
+  EXPECT_EQ(m.colored_at[0], 0);
+
+  const Step min_arrival = cfg.logp.delivery_delay() + 1;  // emit at 1
+  for (NodeId i = 0; i < c.n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Step col = m.colored_at[idx];
+    if (i != 0 && col != kNever) {
+      // Physics: nothing can arrive before the first emission lands.
+      EXPECT_GE(col, min_arrival) << algo_name(c.algo) << " node " << i;
+    }
+    // Ordering: delivery and completion cannot precede coloring.
+    if (m.delivered_at[idx] != kNever && col != kNever) {
+      EXPECT_GE(m.delivered_at[idx], col);
+    }
+    if (m.completed_at[idx] != kNever && col != kNever) {
+      EXPECT_GE(m.completed_at[idx], col);
+    }
+  }
+
+  // All corrected variants must reach everyone without failures.
+  if (c.algo != Algo::kGos) {
+    EXPECT_TRUE(m.all_active_colored)
+        << algo_name(c.algo) << " n=" << c.n << " seed=" << c.seed;
+  }
+  // Self-terminating algorithms: every colored node completed.
+  EXPECT_NE(m.t_complete, kNever) << algo_name(c.algo);
+
+  // Work sanity: bounded by gossip budget + generous correction budget.
+  const std::int64_t bound =
+      static_cast<std::int64_t>(c.n) * (acfg.T + 4 * c.n + 64);
+  EXPECT_LE(m.msgs_total, bound);
+  EXPECT_GE(m.msgs_total, c.n - 1);  // must at least inform everyone once
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const Algo a : {Algo::kGos, Algo::kOcg, Algo::kCcg, Algo::kFcg,
+                       Algo::kBig, Algo::kBfb, Algo::kOpt}) {
+    for (const NodeId n : {2, 3, 17, 64, 129}) {
+      for (const Step lo : {0, 1, 3}) {
+        for (const std::uint64_t seed : {1ULL, 99ULL}) {
+          cases.push_back({a, n, lo, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AlgoSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s_n%d_lo%lld_s%llu",
+                    algo_name(info.param.algo), info.param.n,
+                    static_cast<long long>(info.param.l_over_o),
+                    static_cast<unsigned long long>(info.param.seed));
+      return std::string(buf);
+    });
+
+// ----------------------------------------------------- trace coherence --
+
+TEST(TraceCoherence, EverySendHasAMatchingDeliveryOrDrop) {
+  VectorTrace trace;
+  RunConfig cfg;
+  cfg.n = 32;
+  cfg.logp = LogP::unit();
+  cfg.seed = 5;
+  cfg.trace = &trace;
+  AlgoConfig acfg;
+  acfg.T = 10;
+  run_once(Algo::kCcg, acfg, cfg);
+
+  std::map<std::pair<NodeId, Step>, int> recv_count;  // (node, step)
+  int sends = 0, recvs = 0;
+  for (const auto& ev : trace.events()) {
+    if (ev.kind == TraceEvent::Kind::kSend) {
+      ++sends;
+    } else if (ev.kind == TraceEvent::Kind::kDeliver) {
+      ++recvs;
+      ++recv_count[{ev.node, ev.step}];
+    }
+  }
+  EXPECT_GT(sends, 0);
+  EXPECT_LE(recvs, sends);  // drops: receiver already completed
+
+  // Every delivery is exactly delivery_delay after a matching send.
+  for (const auto& ev : trace.events()) {
+    if (ev.kind != TraceEvent::Kind::kDeliver) continue;
+    bool matched = false;
+    for (const auto& ev2 : trace.events()) {
+      if (ev2.kind == TraceEvent::Kind::kSend && ev2.node == ev.peer &&
+          ev2.peer == ev.node &&
+          ev2.step + cfg.logp.delivery_delay() == ev.step) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "delivery at node " << ev.node << " t=" << ev.step;
+  }
+}
+
+TEST(TraceCoherence, ColoredAtMostOncePerNode) {
+  VectorTrace trace;
+  RunConfig cfg;
+  cfg.n = 64;
+  cfg.logp = LogP::unit();
+  cfg.seed = 8;
+  cfg.trace = &trace;
+  AlgoConfig acfg;
+  acfg.T = 12;
+  acfg.fcg_f = 1;
+  run_once(Algo::kFcg, acfg, cfg);
+  std::map<NodeId, int> colored, completed;
+  for (const auto& ev : trace.events()) {
+    if (ev.kind == TraceEvent::Kind::kColored) ++colored[ev.node];
+    if (ev.kind == TraceEvent::Kind::kComplete) ++completed[ev.node];
+  }
+  for (const auto& [node, count] : colored)
+    EXPECT_EQ(count, 1) << "node " << node << " colored twice (duplicates)";
+  for (const auto& [node, count] : completed)
+    EXPECT_EQ(count, 1) << "node " << node << " completed twice";
+}
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,86 @@
+// End-to-end smoke tests: every algorithm runs, terminates, and reaches
+// every node on a failure-free medium-size system.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/scenarios.hpp"
+
+namespace cg {
+namespace {
+
+RunConfig base_cfg(NodeId n, std::uint64_t seed = 42) {
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.logp = LogP::unit();
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Smoke, GosReachesMostNodes) {
+  AlgoConfig acfg;
+  acfg.T = 40;
+  const RunMetrics m = run_once(Algo::kGos, acfg, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_GE(m.n_colored, 250);
+  EXPECT_GT(m.msgs_total, 0);
+}
+
+TEST(Smoke, OcgReachesAll) {
+  AlgoConfig acfg;
+  acfg.T = 18;
+  acfg.ocg_corr_sends = 12;
+  const RunMetrics m = run_once(Algo::kOcg, acfg, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_EQ(m.n_colored, 256);
+}
+
+TEST(Smoke, CcgReachesAllAndCompletes) {
+  AlgoConfig acfg;
+  acfg.T = 18;
+  const RunMetrics m = run_once(Algo::kCcg, acfg, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_NE(m.t_complete, kNever);
+}
+
+TEST(Smoke, FcgReachesAllAndDelivers) {
+  AlgoConfig acfg;
+  acfg.T = 18;
+  acfg.fcg_f = 1;
+  const RunMetrics m = run_once(Algo::kFcg, acfg, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_TRUE(m.all_active_delivered);
+  EXPECT_FALSE(m.sos_triggered);
+  EXPECT_NE(m.t_complete, kNever);
+}
+
+TEST(Smoke, BigReachesAll) {
+  const RunMetrics m = run_once(Algo::kBig, AlgoConfig{}, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_TRUE(m.all_active_colored);
+}
+
+TEST(Smoke, BfbReachesAllAndAcks) {
+  const RunMetrics m = run_once(Algo::kBfb, AlgoConfig{}, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_TRUE(m.all_active_colored);
+  EXPECT_NE(m.t_root_complete, kNever);
+}
+
+TEST(Smoke, OptReachesAllAtLowerBound) {
+  const RunMetrics m = run_once(Algo::kOpt, AlgoConfig{}, base_cfg(256));
+  EXPECT_FALSE(m.hit_max_steps);
+  EXPECT_TRUE(m.all_active_colored);
+}
+
+TEST(Smoke, ScenarioPipelineRuns) {
+  const ScenarioResult r = run_scenario(Algo::kCcg, 128, 0, LogP::unit(), 20,
+                                        7, 1e-4, 1, 1);
+  EXPECT_EQ(r.agg.trials, 20);
+  EXPECT_GT(r.lat_us, 0);
+}
+
+}  // namespace
+}  // namespace cg

@@ -1,0 +1,93 @@
+// Expected-work models (analysis/work_model.hpp) validated against
+// simulation for every gossip-family algorithm.
+#include <gtest/gtest.h>
+
+#include "analysis/tuning.hpp"
+#include "analysis/work_model.hpp"
+#include "harness/experiment.hpp"
+
+namespace cg {
+namespace {
+
+TrialAggregate sim(Algo algo, NodeId n, Step T, const LogP& logp, int f = 1,
+                   Step ocg_sends = 0, int trials = 40) {
+  TrialSpec spec;
+  spec.algo = algo;
+  spec.acfg.T = T;
+  spec.acfg.ocg_corr_sends = ocg_sends;
+  spec.acfg.fcg_f = f;
+  spec.n = n;
+  spec.logp = logp;
+  spec.seed = 1234;
+  spec.trials = trials;
+  return run_trials(spec);
+}
+
+TEST(WorkModel, GossipWorkMatchesSimulation) {
+  for (const NodeId n : {256, 1024}) {
+    for (const Step T : {15, 25, 40}) {
+      const TrialAggregate agg = sim(Algo::kGos, n, T, LogP::unit());
+      const double pred = expected_gossip_work(n, n, T, LogP::unit());
+      EXPECT_NEAR(agg.work.mean(), pred, 0.03 * pred + 5.0)
+          << "n=" << n << " T=" << T;
+    }
+  }
+}
+
+TEST(WorkModel, GossipWorkMatchesPaperTable7) {
+  // GOS at N=4096, T=51, L=2, O=1: the paper reports 95,418 messages.
+  const double pred = expected_gossip_work(4096, 4096, 51, LogP::piz_daint());
+  EXPECT_NEAR(pred, 95418.0, 0.01 * 95418.0);
+}
+
+TEST(WorkModel, OcgCorrectionWork) {
+  const NodeId n = 1024;
+  const Step T = 24;
+  const Step sends = 6;
+  const TrialAggregate agg = sim(Algo::kOcg, n, T, LogP::unit(), 1, sends);
+  const double pred = expected_ocg_corr_work(n, n, T, LogP::unit(), sends);
+  EXPECT_NEAR(agg.work_correction.mean(), pred, 0.03 * pred);
+}
+
+TEST(WorkModel, CcgCorrectionWorkWithinSlackBand) {
+  const NodeId n = 1024;
+  const Step T = 26;
+  const TrialAggregate agg = sim(Algo::kCcg, n, T, LogP::piz_daint());
+  const double lo = expected_ccg_corr_work(n, n, T, LogP::piz_daint(), 0.0);
+  const double hi = expected_ccg_corr_work(n, n, T, LogP::piz_daint(), 1.0);
+  EXPECT_GE(agg.work_correction.mean(), lo * 0.95);
+  EXPECT_LE(agg.work_correction.mean(), hi * 1.05);
+}
+
+TEST(WorkModel, FcgCorrectionWorkIsFourFPlusOneN) {
+  // The exact identity: sweeps to the (f+1)-th g-node plus a finalization
+  // re-sweep cover 4(f+1)N emissions for dense colorings.
+  for (const int f : {1, 2}) {
+    const NodeId n = 1024;
+    const Step T = 30;  // dense coloring
+    const TrialAggregate agg = sim(Algo::kFcg, n, T, LogP::piz_daint(), f);
+    const double pred = expected_fcg_corr_work(n, f);
+    EXPECT_NEAR(agg.work_correction.mean(), pred, 0.02 * pred) << "f=" << f;
+  }
+}
+
+TEST(WorkModel, TotalsCompose) {
+  const NodeId n = 512;
+  const Step T = 22;
+  const LogP pd = LogP::piz_daint();
+  const TrialAggregate ccg = sim(Algo::kCcg, n, T, pd);
+  EXPECT_NEAR(ccg.work.mean(), expected_ccg_work(n, n, T, pd),
+              0.08 * ccg.work.mean());
+  const TrialAggregate fcg = sim(Algo::kFcg, n, T, pd, 1);
+  EXPECT_NEAR(fcg.work.mean(), expected_fcg_work(n, n, T, pd, 1),
+              0.08 * fcg.work.mean());
+}
+
+TEST(WorkModel, PreFailuresReduceWork) {
+  const double full = expected_ccg_work(1024, 1024, 24, LogP::unit());
+  const double reduced = expected_ccg_work(1024, 960, 24, LogP::unit());
+  EXPECT_LT(reduced, full);
+}
+
+}  // namespace
+}  // namespace cg
