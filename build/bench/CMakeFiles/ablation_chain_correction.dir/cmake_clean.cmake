@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_correction.dir/ablation_chain_correction.cpp.o"
+  "CMakeFiles/ablation_chain_correction.dir/ablation_chain_correction.cpp.o.d"
+  "ablation_chain_correction"
+  "ablation_chain_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

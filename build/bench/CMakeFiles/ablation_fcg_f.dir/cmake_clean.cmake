@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fcg_f.dir/ablation_fcg_f.cpp.o"
+  "CMakeFiles/ablation_fcg_f.dir/ablation_fcg_f.cpp.o.d"
+  "ablation_fcg_f"
+  "ablation_fcg_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fcg_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

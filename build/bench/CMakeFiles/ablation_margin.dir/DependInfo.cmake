@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_margin.cpp" "bench/CMakeFiles/ablation_margin.dir/ablation_margin.cpp.o" "gcc" "bench/CMakeFiles/ablation_margin.dir/ablation_margin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/cg_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/cg_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/cg_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cg_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

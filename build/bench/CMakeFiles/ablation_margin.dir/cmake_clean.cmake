@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_margin.dir/ablation_margin.cpp.o"
+  "CMakeFiles/ablation_margin.dir/ablation_margin.cpp.o.d"
+  "ablation_margin"
+  "ablation_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rx_policy.dir/ablation_rx_policy.cpp.o"
+  "CMakeFiles/ablation_rx_policy.dir/ablation_rx_policy.cpp.o.d"
+  "ablation_rx_policy"
+  "ablation_rx_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rx_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_concurrent.dir/ext_concurrent.cpp.o"
+  "CMakeFiles/ext_concurrent.dir/ext_concurrent.cpp.o.d"
+  "ext_concurrent"
+  "ext_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

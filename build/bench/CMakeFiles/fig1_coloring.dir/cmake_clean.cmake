@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_coloring.dir/fig1_coloring.cpp.o"
+  "CMakeFiles/fig1_coloring.dir/fig1_coloring.cpp.o.d"
+  "fig1_coloring"
+  "fig1_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ccg_tuning.dir/fig5_ccg_tuning.cpp.o"
+  "CMakeFiles/fig5_ccg_tuning.dir/fig5_ccg_tuning.cpp.o.d"
+  "fig5_ccg_tuning"
+  "fig5_ccg_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ccg_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_scaling.dir/fig7a_scaling.cpp.o"
+  "CMakeFiles/fig7a_scaling.dir/fig7a_scaling.cpp.o.d"
+  "fig7a_scaling"
+  "fig7a_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_scaling_failures.dir/fig7b_scaling_failures.cpp.o"
+  "CMakeFiles/fig7b_scaling_failures.dir/fig7b_scaling_failures.cpp.o.d"
+  "fig7b_scaling_failures"
+  "fig7b_scaling_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_scaling_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fcg_tuning.dir/fig9_fcg_tuning.cpp.o"
+  "CMakeFiles/fig9_fcg_tuning.dir/fig9_fcg_tuning.cpp.o.d"
+  "fig9_fcg_tuning"
+  "fig9_fcg_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fcg_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_case_study.dir/table7_case_study.cpp.o"
+  "CMakeFiles/table7_case_study.dir/table7_case_study.cpp.o.d"
+  "table7_case_study"
+  "table7_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

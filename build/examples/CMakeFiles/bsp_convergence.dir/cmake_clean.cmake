@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_convergence.dir/bsp_convergence.cpp.o"
+  "CMakeFiles/bsp_convergence.dir/bsp_convergence.cpp.o.d"
+  "bsp_convergence"
+  "bsp_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

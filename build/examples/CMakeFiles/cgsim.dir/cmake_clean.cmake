@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgsim.dir/cgsim.cpp.o"
+  "CMakeFiles/cgsim.dir/cgsim.cpp.o.d"
+  "cgsim"
+  "cgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

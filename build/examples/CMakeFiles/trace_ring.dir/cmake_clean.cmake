@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_ring.dir/trace_ring.cpp.o"
+  "CMakeFiles/trace_ring.dir/trace_ring.cpp.o.d"
+  "trace_ring"
+  "trace_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

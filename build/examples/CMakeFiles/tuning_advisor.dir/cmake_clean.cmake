@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_advisor.dir/tuning_advisor.cpp.o"
+  "CMakeFiles/tuning_advisor.dir/tuning_advisor.cpp.o.d"
+  "tuning_advisor"
+  "tuning_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/baseline_models.cpp" "src/analysis/CMakeFiles/cg_analysis.dir/baseline_models.cpp.o" "gcc" "src/analysis/CMakeFiles/cg_analysis.dir/baseline_models.cpp.o.d"
+  "/root/repo/src/analysis/chain.cpp" "src/analysis/CMakeFiles/cg_analysis.dir/chain.cpp.o" "gcc" "src/analysis/CMakeFiles/cg_analysis.dir/chain.cpp.o.d"
+  "/root/repo/src/analysis/coloring.cpp" "src/analysis/CMakeFiles/cg_analysis.dir/coloring.cpp.o" "gcc" "src/analysis/CMakeFiles/cg_analysis.dir/coloring.cpp.o.d"
+  "/root/repo/src/analysis/fcg_bound.cpp" "src/analysis/CMakeFiles/cg_analysis.dir/fcg_bound.cpp.o" "gcc" "src/analysis/CMakeFiles/cg_analysis.dir/fcg_bound.cpp.o.d"
+  "/root/repo/src/analysis/tuning.cpp" "src/analysis/CMakeFiles/cg_analysis.dir/tuning.cpp.o" "gcc" "src/analysis/CMakeFiles/cg_analysis.dir/tuning.cpp.o.d"
+  "/root/repo/src/analysis/work_model.cpp" "src/analysis/CMakeFiles/cg_analysis.dir/work_model.cpp.o" "gcc" "src/analysis/CMakeFiles/cg_analysis.dir/work_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_analysis.dir/baseline_models.cpp.o"
+  "CMakeFiles/cg_analysis.dir/baseline_models.cpp.o.d"
+  "CMakeFiles/cg_analysis.dir/chain.cpp.o"
+  "CMakeFiles/cg_analysis.dir/chain.cpp.o.d"
+  "CMakeFiles/cg_analysis.dir/coloring.cpp.o"
+  "CMakeFiles/cg_analysis.dir/coloring.cpp.o.d"
+  "CMakeFiles/cg_analysis.dir/fcg_bound.cpp.o"
+  "CMakeFiles/cg_analysis.dir/fcg_bound.cpp.o.d"
+  "CMakeFiles/cg_analysis.dir/tuning.cpp.o"
+  "CMakeFiles/cg_analysis.dir/tuning.cpp.o.d"
+  "CMakeFiles/cg_analysis.dir/work_model.cpp.o"
+  "CMakeFiles/cg_analysis.dir/work_model.cpp.o.d"
+  "libcg_analysis.a"
+  "libcg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

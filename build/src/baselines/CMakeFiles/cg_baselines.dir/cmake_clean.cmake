@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_baselines.dir/opt_tree.cpp.o"
+  "CMakeFiles/cg_baselines.dir/opt_tree.cpp.o.d"
+  "libcg_baselines.a"
+  "libcg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

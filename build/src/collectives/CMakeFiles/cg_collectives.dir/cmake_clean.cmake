@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_collectives.dir/allreduce.cpp.o"
+  "CMakeFiles/cg_collectives.dir/allreduce.cpp.o.d"
+  "libcg_collectives.a"
+  "libcg_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

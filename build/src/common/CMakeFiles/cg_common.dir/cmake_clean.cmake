@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/cg_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/cg_common.dir/flags.cpp.o"
+  "CMakeFiles/cg_common.dir/flags.cpp.o.d"
+  "CMakeFiles/cg_common.dir/table.cpp.o"
+  "CMakeFiles/cg_common.dir/table.cpp.o.d"
+  "libcg_common.a"
+  "libcg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

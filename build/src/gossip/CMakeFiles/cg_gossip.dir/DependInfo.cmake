@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gossip/ccg_pushpull.cpp" "src/gossip/CMakeFiles/cg_gossip.dir/ccg_pushpull.cpp.o" "gcc" "src/gossip/CMakeFiles/cg_gossip.dir/ccg_pushpull.cpp.o.d"
+  "/root/repo/src/gossip/push_pull.cpp" "src/gossip/CMakeFiles/cg_gossip.dir/push_pull.cpp.o" "gcc" "src/gossip/CMakeFiles/cg_gossip.dir/push_pull.cpp.o.d"
+  "/root/repo/src/gossip/round_gossip.cpp" "src/gossip/CMakeFiles/cg_gossip.dir/round_gossip.cpp.o" "gcc" "src/gossip/CMakeFiles/cg_gossip.dir/round_gossip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cg_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

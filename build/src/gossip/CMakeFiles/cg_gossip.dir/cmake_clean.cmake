@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_gossip.dir/ccg_pushpull.cpp.o"
+  "CMakeFiles/cg_gossip.dir/ccg_pushpull.cpp.o.d"
+  "CMakeFiles/cg_gossip.dir/push_pull.cpp.o"
+  "CMakeFiles/cg_gossip.dir/push_pull.cpp.o.d"
+  "CMakeFiles/cg_gossip.dir/round_gossip.cpp.o"
+  "CMakeFiles/cg_gossip.dir/round_gossip.cpp.o.d"
+  "libcg_gossip.a"
+  "libcg_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_harness.dir/experiment.cpp.o"
+  "CMakeFiles/cg_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/cg_harness.dir/runner.cpp.o"
+  "CMakeFiles/cg_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/cg_harness.dir/scenarios.cpp.o"
+  "CMakeFiles/cg_harness.dir/scenarios.cpp.o.d"
+  "libcg_harness.a"
+  "libcg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

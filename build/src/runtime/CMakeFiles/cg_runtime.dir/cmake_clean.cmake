@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_runtime.dir/broadcast.cpp.o"
+  "CMakeFiles/cg_runtime.dir/broadcast.cpp.o.d"
+  "libcg_runtime.a"
+  "libcg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

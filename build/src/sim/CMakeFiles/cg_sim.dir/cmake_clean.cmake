@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_sim.dir/failure.cpp.o"
+  "CMakeFiles/cg_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/cg_sim.dir/trace.cpp.o"
+  "CMakeFiles/cg_sim.dir/trace.cpp.o.d"
+  "libcg_sim.a"
+  "libcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcg.dir/test_fcg.cpp.o"
+  "CMakeFiles/test_fcg.dir/test_fcg.cpp.o.d"
+  "test_fcg"
+  "test_fcg.pdb"
+  "test_fcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocg.dir/test_ocg.cpp.o"
+  "CMakeFiles/test_ocg.dir/test_ocg.cpp.o.d"
+  "test_ocg"
+  "test_ocg.pdb"
+  "test_ocg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_push_pull.dir/test_push_pull.cpp.o"
+  "CMakeFiles/test_push_pull.dir/test_push_pull.cpp.o.d"
+  "test_push_pull"
+  "test_push_pull.pdb"
+  "test_push_pull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_push_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_model.dir/test_work_model.cpp.o"
+  "CMakeFiles/test_work_model.dir/test_work_model.cpp.o.d"
+  "test_work_model"
+  "test_work_model.pdb"
+  "test_work_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_ocg[1]_include.cmake")
+include("/root/repo/build/tests/test_ccg[1]_include.cmake")
+include("/root/repo/build/tests/test_fcg[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/test_work_model[1]_include.cmake")
+include("/root/repo/build/tests/test_async_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_barrier[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_adversarial[1]_include.cmake")
+include("/root/repo/build/tests/test_push_pull[1]_include.cmake")
