@@ -9,6 +9,8 @@
 #include "gossip/ccg.hpp"
 #include "gossip/fcg.hpp"
 #include "harness/runner.hpp"
+#include "runtime/parallel_engine.hpp"
+#include "sim/async_engine.hpp"
 
 namespace cg {
 namespace {
@@ -67,6 +69,63 @@ void BM_FcgRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_FcgRun)->Arg(1024)->Arg(4096);
+
+// Engine-layer throughput probes (BENCH_engine.json): the same CCG workload
+// through each execution engine, items/sec = simulated node-steps/sec.
+void BM_EngineSerial(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    CcgNode::Params p;
+    p.T = 30;
+    Engine<CcgNode> eng(cfg, p);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSerial)->Arg(1024)->Arg(4096);
+
+void BM_EngineAsync(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    CcgNode::Params p;
+    p.T = 30;
+    AsyncEngine<CcgNode> eng(cfg, p);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineAsync)->Arg(1024)->Arg(4096);
+
+void BM_EngineParallel(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    CcgNode::Params p;
+    p.T = 30;
+    ParallelEngine<CcgNode> eng(cfg, p, threads);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineParallel)
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 8});
 
 void BM_ExpectedColored(benchmark::State& state) {
   for (auto _ : state)

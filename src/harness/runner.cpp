@@ -9,6 +9,8 @@
 #include "gossip/gos.hpp"
 #include "gossip/ocg.hpp"
 #include "gossip/ocg_chain.hpp"
+#include "runtime/parallel_engine.hpp"
+#include "sim/async_engine.hpp"
 
 namespace cg {
 
@@ -26,27 +28,58 @@ const char* algo_name(Algo a) {
   return "?";
 }
 
-RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg) {
-  switch (algo) {
-    case Algo::kGos: {
-      Engine<GosNode> eng(rcfg, GosNode::Params{acfg.T});
+const char* engine_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kStepped: return "stepped";
+    case EngineKind::kAsync: return "async";
+    case EngineKind::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+namespace {
+
+template <class Node>
+RunMetrics run_engine(const RunConfig& rcfg, typename Node::Params params,
+                      const ExecConfig& exec) {
+  switch (exec.engine) {
+    case EngineKind::kStepped: {
+      Engine<Node> eng(rcfg, std::move(params));
       return eng.run();
     }
+    case EngineKind::kAsync: {
+      AsyncEngine<Node> eng(rcfg, std::move(params));
+      return eng.run();
+    }
+    case EngineKind::kParallel: {
+      ParallelEngine<Node> eng(rcfg, std::move(params), exec.threads);
+      return eng.run();
+    }
+  }
+  CG_CHECK_MSG(false, "unknown engine");
+  return {};
+}
+
+}  // namespace
+
+RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg,
+                    const ExecConfig& exec) {
+  switch (algo) {
+    case Algo::kGos:
+      return run_engine<GosNode>(rcfg, GosNode::Params{acfg.T}, exec);
     case Algo::kOcg: {
       CG_CHECK_MSG(acfg.ocg_corr_sends > 0, "OCG needs ocg_corr_sends");
       OcgNode::Params params;
       params.T = acfg.T;
       params.corr_sends = acfg.ocg_corr_sends;
       params.drain_extra = acfg.drain_extra;
-      Engine<OcgNode> eng(rcfg, params);
-      return eng.run();
+      return run_engine<OcgNode>(rcfg, params, exec);
     }
     case Algo::kCcg: {
       CcgNode::Params params;
       params.T = acfg.T;
       params.drain_extra = acfg.drain_extra;
-      Engine<CcgNode> eng(rcfg, params);
-      return eng.run();
+      return run_engine<CcgNode>(rcfg, params, exec);
     }
     case Algo::kFcg: {
       FcgNode::Params params;
@@ -55,8 +88,7 @@ RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg) {
       params.drain_extra = acfg.drain_extra;
       params.sos_timeout = acfg.fcg_sos_timeout;
       params.sos_enabled = acfg.fcg_sos_enabled;
-      Engine<FcgNode> eng(rcfg, params);
-      return eng.run();
+      return run_engine<FcgNode>(rcfg, params, exec);
     }
     case Algo::kOcgChain: {
       CG_CHECK_MSG(acfg.ocg_corr_sends > 0, "OCG-CHAIN needs a K_bar");
@@ -64,29 +96,28 @@ RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg) {
       params.T = acfg.T;
       params.horizon = OcgChainNode::chain_horizon(
           acfg.T, static_cast<int>(acfg.ocg_corr_sends), rcfg.logp);
-      Engine<OcgChainNode> eng(rcfg, params);
-      return eng.run();
+      return run_engine<OcgChainNode>(rcfg, params, exec);
     }
-    case Algo::kBig: {
-      Engine<BigNode> eng(rcfg, BigNode::Params{});
-      return eng.run();
-    }
+    case Algo::kBig:
+      return run_engine<BigNode>(rcfg, BigNode::Params{}, exec);
     case Algo::kBfb: {
       BfbNode::Params params;
       params.shared = BfbShared::make(rcfg.n, rcfg.root, rcfg.failures);
       params.quiet_period = 16 * rcfg.logp.delivery_delay() + 32;
-      Engine<BfbNode> eng(rcfg, params);
-      return eng.run();
+      return run_engine<BfbNode>(rcfg, params, exec);
     }
     case Algo::kOpt: {
       OptNode::Params params;
       params.schedule = OptSchedule::build(rcfg.n, rcfg.logp);
-      Engine<OptNode> eng(rcfg, params);
-      return eng.run();
+      return run_engine<OptNode>(rcfg, params, exec);
     }
   }
   CG_CHECK_MSG(false, "unknown algorithm");
   return {};
+}
+
+RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg) {
+  return run_once(algo, acfg, rcfg, ExecConfig{});
 }
 
 }  // namespace cg

@@ -34,4 +34,24 @@ struct AlgoConfig {
 /// Run one trial; RunConfig supplies N, root, LogP, seed, and failures.
 RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg);
 
+/// Which execution engine carries the run.  All three share the simulation
+/// core (src/sim/core/) and produce identical metrics for the same
+/// RunConfig; they differ in scheduling strategy and wall-clock profile.
+enum class EngineKind : std::uint8_t {
+  kStepped,   ///< serial step loop (sim/engine.hpp) - the default
+  kAsync,     ///< event-driven (sim/async_engine.hpp)
+  kParallel,  ///< multi-threaded stepped (runtime/parallel_engine.hpp)
+};
+
+const char* engine_name(EngineKind k);
+
+struct ExecConfig {
+  EngineKind engine = EngineKind::kStepped;
+  int threads = 1;  ///< kParallel only
+};
+
+/// Run one trial on an explicitly chosen engine.
+RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg,
+                    const ExecConfig& exec);
+
 }  // namespace cg

@@ -1,28 +1,45 @@
 // Multi-threaded execution of the same protocol state machines the stepped
 // simulator runs (sim/engine.hpp), sharding nodes across worker threads
-// with a step barrier.  Produces the same RunMetrics; results match the
-// serial engine exactly for message-order-insensitive protocols (all of
-// the corrected-gossip family), which the tests verify.
+// with a step barrier.  Produces the same RunMetrics as the serial engine -
+// including under jitter, message loss and RxPolicy::kOnePerStep - which
+// tests/test_engine_parity.cpp verifies for every corrected-gossip
+// protocol.
 //
 // Structure per global step, for each worker thread w owning the nodes
 // { i : i % threads == w }:
 //   phase A: apply due failures; deliver due messages (on_receive); tick
 //            active nodes (on_tick); stage outgoing messages in a
 //            thread-local outbox;
-//   barrier (completion function aggregates active/in-flight counts and
-//            decides termination);
+//   barrier (completion function aggregates active/in-flight counts,
+//            merges per-worker trace buffers, and decides termination);
 //   phase B: route every staged message destined to an owned node into
 //            that node's timed queue;
 //   barrier.
+//
+// The model itself (delays/jitter/loss, node lifecycle, emission gate,
+// metrics finalization, Ctx surface) is shared with the other engines via
+// src/sim/core/.  The core classes keep per-node state at byte granularity
+// and per-sender RNG streams, so the ownership discipline above - node i is
+// only ever mutated by worker i % threads during a phase - is free of data
+// races (TSan-checked via the `sanitize` ctest label).
 #pragma once
 
+#include <algorithm>
 #include <barrier>
+#include <deque>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
-#include "sim/engine.hpp"
+#include "sim/core/basic_ctx.hpp"
+#include "sim/core/network_model.hpp"
+#include "sim/core/node_state.hpp"
+#include "sim/core/run_config.hpp"
+#include "sim/core/send_gate.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace cg {
 
@@ -31,50 +48,47 @@ class ParallelEngine {
  public:
   using Params = typename Node::Params;
 
+  /// BasicCtx host: the engine plus the worker the callback runs on, so
+  /// sends and state transitions land in that worker's accounting.
+  struct WorkerView {
+    ParallelEngine* eng;
+    int worker;
+
+    Step ctx_now() const { return eng->step_; }
+    const RunConfig& ctx_cfg() const { return eng->cfg_; }
+    Xoshiro256& ctx_rng(NodeId i) {
+      return eng->rng_[static_cast<std::size_t>(i)];
+    }
+    void ctx_send(NodeId from, NodeId to, const Message& m) {
+      eng->do_send(worker, from, to, m);
+    }
+    void ctx_activate(NodeId i) { eng->do_activate(worker, i); }
+    void ctx_mark_colored(NodeId i) {
+      if (eng->store_.mark_colored(i, eng->step_))
+        eng->trace(worker, {eng->step_, TraceEvent::Kind::kColored, i, kNoNode,
+                            Tag::kGossip});
+    }
+    void ctx_deliver(NodeId i) {
+      if (eng->store_.mark_delivered(i, eng->step_))
+        eng->trace(worker, {eng->step_, TraceEvent::Kind::kDelivered, i,
+                            kNoNode, Tag::kGossip});
+    }
+    void ctx_complete(NodeId i) { eng->do_complete(worker, i); }
+    bool ctx_colored(NodeId i) const { return eng->store_.colored(i); }
+  };
+  using Ctx = BasicCtx<WorkerView>;
+
   ParallelEngine(RunConfig cfg, Params params, int threads)
       : cfg_(std::move(cfg)), params_(std::move(params)),
         threads_(std::max(1, threads)) {
     CG_CHECK(cfg_.n >= 1);
-    CG_CHECK_MSG(cfg_.trace == nullptr,
-                 "tracing is not supported by the parallel engine");
-    CG_CHECK_MSG(cfg_.drop_prob == 0.0,
-                 "message loss is not supported by the parallel engine");
+    CG_CHECK(cfg_.root >= 0 && cfg_.root < cfg_.n);
     cfg_.logp.validate();
   }
-
-  class Ctx {
-   public:
-    Step now() const { return eng_.step_; }
-    NodeId self() const { return self_; }
-    NodeId n() const { return eng_.cfg_.n; }
-    NodeId root() const { return eng_.cfg_.root; }
-    bool is_root() const { return self_ == eng_.cfg_.root; }
-    const LogP& logp() const { return eng_.cfg_.logp; }
-    Xoshiro256& rng() { return eng_.rng_[static_cast<std::size_t>(self_)]; }
-
-    void send(NodeId to, const Message& m) { eng_.do_send(worker_, self_, to, m); }
-    void activate() { eng_.do_activate(worker_, self_); }
-    void mark_colored() { eng_.mark(eng_.colored_at_, self_); }
-    void deliver() { eng_.mark(eng_.delivered_at_, self_); }
-    void complete() { eng_.do_complete(worker_, self_); }
-    bool colored() const {
-      return eng_.colored_at_[static_cast<std::size_t>(self_)] != kNever;
-    }
-
-   private:
-    friend class ParallelEngine;
-    Ctx(ParallelEngine& e, int worker, NodeId self)
-        : eng_(e), worker_(worker), self_(self) {}
-    ParallelEngine& eng_;
-    int worker_;
-    NodeId self_;
-  };
 
   RunMetrics run();
 
  private:
-  enum class RunState : std::uint8_t { kIdle, kActive, kDone };
-
   struct TimedMsg {
     Step at;
     NodeId to;
@@ -86,60 +100,107 @@ class ParallelEngine {
     std::int64_t active_delta = 0;     // activations - completions this step
     std::int64_t sent = 0;             // messages staged this step
     std::int64_t delivered = 0;        // messages consumed this step
-    // message counters (merged into metrics at the end)
-    std::int64_t msgs_total = 0, msgs_gossip = 0, msgs_corr = 0,
-                 msgs_sos = 0, msgs_tree = 0;
+    MessageCounts counts;              // merged into metrics at the end
+    std::vector<TraceEvent> trace;     // merged in worker order per step
     char pad[64];                      // avoid false sharing
   };
 
   void do_send(int worker, NodeId from, NodeId to, const Message& m) {
-    CG_CHECK(to >= 0 && to < cfg_.n && to != from);
+    CG_CHECK(to >= 0 && to < cfg_.n);
+    CG_CHECK_MSG(to != from, "node sent a message to itself");
     auto& ws = workers_[static_cast<std::size_t>(worker)];
+    gate_.on_send(from, step_);
+    ws.counts.add(m.tag);
+    if (cfg_.trace != nullptr)
+      trace(worker, {step_, TraceEvent::Kind::kSend, from, to, m.tag});
+
+    const Step at = net_.route(from, to, step_);
+    if (at == NetworkModel::kLost) return;  // lost on the wire (counted)
+
     Message out = m;
     out.src = from;
-    Step at = step_ + cfg_.logp.delivery_delay();
-    if (cfg_.jitter_max > 0) {
-      at += jitter_rng_[static_cast<std::size_t>(from)].uniform(
-          0, cfg_.jitter_max);
-    }
-    if (cfg_.link_extra) {
-      const Step extra = cfg_.link_extra(from, to);
-      CG_CHECK(extra >= 0 && extra <= cfg_.link_extra_max);
-      at += extra;
-    }
     ws.outbox.push_back({at, to, out});
     ++ws.sent;
-    ++ws.msgs_total;
-    switch (m.tag) {
-      case Tag::kGossip: ++ws.msgs_gossip; break;
-      case Tag::kOcgCorr:
-      case Tag::kFwd:
-      case Tag::kBwd: ++ws.msgs_corr; break;
-      case Tag::kSos: ++ws.msgs_sos; break;
-      default: ++ws.msgs_tree; break;
-    }
-  }
-
-  void mark(std::vector<Step>& arr, NodeId i) {
-    auto& v = arr[static_cast<std::size_t>(i)];
-    if (v == kNever) v = step_;
   }
 
   void do_activate(int worker, NodeId i) {
-    auto& st = state_[static_cast<std::size_t>(i)];
-    if (st != RunState::kIdle) return;
-    st = RunState::kActive;
-    activated_at_[static_cast<std::size_t>(i)] = step_;
-    ++workers_[static_cast<std::size_t>(worker)].active_delta;
+    if (store_.activate(i, step_))
+      ++workers_[static_cast<std::size_t>(worker)].active_delta;
   }
 
   void do_complete(int worker, NodeId i) {
-    auto& st = state_[static_cast<std::size_t>(i)];
-    if (st == RunState::kDone) return;
-    if (st == RunState::kActive)
-      --workers_[static_cast<std::size_t>(worker)].active_delta;
-    st = RunState::kDone;
-    completed_at_[static_cast<std::size_t>(i)] = step_;
+    const auto t = store_.complete(i, step_);
+    if (!t.changed) return;
+    if (t.was_active) --workers_[static_cast<std::size_t>(worker)].active_delta;
+    trace(worker,
+          {step_, TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
+  }
+
+  // Phase-A deliveries + receive for one owned node (worker-local `due` is
+  // scratch).  Returns the number of messages CONSUMED this step (popped
+  // from the network/inbox), which feeds the shared in-flight count.
+  std::int64_t deliver_for(int w, NodeId i, std::vector<TimedMsg>& due) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Step s = step_;
+    auto& q = queue_[idx];
+    due.clear();
+    for (std::size_t k = 0; k < q.size();) {
+      if (q[k].at <= s) {
+        due.push_back(q[k]);
+        q[k] = q.back();
+        q.pop_back();
+      } else {
+        ++k;
+      }
+    }
+    if (cfg_.rx == RxPolicy::kDrainAll) {
+      if (store_.alive(i) && !store_.done(i)) {
+        for (const auto& d : due) {
+          if (store_.done(i)) break;  // completed mid-drain: rest is dropped
+          dispatch(w, i, d.msg);
+        }
+      }
+      return static_cast<std::int64_t>(due.size());
+    }
+    // kOnePerStep: canonical-order this step's arrivals into the inbox,
+    // then consume at most one (even for dead/done nodes, mirroring the
+    // serial engine's drain).
+    auto& box = inbox_[idx];
+    if (!due.empty()) {
+      std::sort(due.begin(), due.end(),
+                [](const TimedMsg& a, const TimedMsg& b) {
+                  return rx_order_before(a.msg, b.msg);
+                });
+      for (const auto& d : due) box.push_back(d.msg);
+    }
+    if (box.empty()) return 0;
+    const Message m = box.front();
+    box.pop_front();
+    if (store_.alive(i) && !store_.done(i)) dispatch(w, i, m);
+    return 1;
+  }
+
+  void dispatch(int w, NodeId to, const Message& m) {
+    do_activate(w, to);
+    if (cfg_.trace != nullptr)
+      trace(w, {step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    WorkerView view{this, w};
+    Ctx ctx(view, to);
+    nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
+  }
+
+  void trace(int worker, TraceEvent ev) {
+    if (cfg_.trace != nullptr)
+      workers_[static_cast<std::size_t>(worker)].trace.push_back(ev);
+  }
+
+  // Single-threaded (constructor, or inside the barrier completion).
+  void flush_traces() {
+    if (cfg_.trace == nullptr) return;
+    for (auto& ws : workers_) {
+      for (const auto& ev : ws.trace) cfg_.trace->on_event(ev);
+      ws.trace.clear();
+    }
   }
 
   RunConfig cfg_;
@@ -149,12 +210,12 @@ class ParallelEngine {
   Step step_ = 0;
   std::vector<Node> nodes_;
   std::vector<Xoshiro256> rng_;
-  std::vector<Xoshiro256> jitter_rng_;
-  std::vector<bool> alive_;
-  std::vector<RunState> state_;
-  std::vector<Step> colored_at_, delivered_at_, completed_at_, activated_at_;
+  NetworkModel net_;
+  NodeStateStore store_;
+  SendGate gate_;
   std::vector<Step> crash_at_;
   std::vector<std::vector<TimedMsg>> queue_;  // per-node pending deliveries
+  std::vector<std::deque<Message>> inbox_;    // kOnePerStep only
   std::vector<WorkerState> workers_;
   std::int64_t active_count_ = 0;
   std::int64_t in_flight_ = 0;
@@ -172,44 +233,31 @@ RunMetrics ParallelEngine<Node>::run() {
   rng_.reserve(n);
   for (NodeId i = 0; i < cfg_.n; ++i)
     rng_.emplace_back(derive_seed(cfg_.seed, static_cast<std::uint64_t>(i)));
-  jitter_rng_.clear();
-  if (cfg_.jitter_max > 0) {
-    jitter_rng_.reserve(n);
-    for (NodeId i = 0; i < cfg_.n; ++i)
-      jitter_rng_.emplace_back(derive_seed(
-          cfg_.seed, static_cast<std::uint64_t>(i) + 0x4A17E500000000ULL));
-  }
-  alive_.assign(n, true);
-  state_.assign(n, RunState::kIdle);
-  colored_at_.assign(n, kNever);
-  delivered_at_.assign(n, kNever);
-  completed_at_.assign(n, kNever);
-  activated_at_.assign(n, kNever);
+  net_.reset(cfg_);
+  store_.reset(cfg_.n);
+  gate_.reset(cfg_.n);
   crash_at_.assign(n, kNever);
   queue_.assign(n, {});
+  if (cfg_.rx == RxPolicy::kOnePerStep) inbox_.assign(n, {});
   workers_.assign(static_cast<std::size_t>(threads_), WorkerState{});
   metrics_ = RunMetrics{};
-  metrics_.n_total = cfg_.n;
   step_ = 0;
   active_count_ = 0;
   in_flight_ = 0;
   stop_ = false;
 
-  for (const NodeId i : cfg_.failures.pre_failed) {
-    alive_[static_cast<std::size_t>(i)] = false;
-    state_[static_cast<std::size_t>(i)] = RunState::kDone;
-  }
+  for (const NodeId i : cfg_.failures.pre_failed) store_.pre_fail(i);
   for (const auto& of : cfg_.failures.online)
     crash_at_[static_cast<std::size_t>(of.node)] =
         std::min(crash_at_[static_cast<std::size_t>(of.node)], of.at_step);
-  CG_CHECK(alive_[static_cast<std::size_t>(cfg_.root)]);
+  CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
 
-  state_[static_cast<std::size_t>(cfg_.root)] = RunState::kActive;
-  activated_at_[static_cast<std::size_t>(cfg_.root)] = 0;
+  store_.activate(cfg_.root, 0);
   active_count_ = 1;
   for (NodeId i = 0; i < cfg_.n; ++i) {
-    if (!alive_[static_cast<std::size_t>(i)]) continue;
-    Ctx ctx(*this, static_cast<int>(i) % threads_, i);
+    if (!store_.alive(i)) continue;
+    WorkerView view{this, static_cast<int>(i) % threads_};
+    Ctx ctx(view, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
   }
   // on_start completions adjust deltas; fold them in before stepping.
@@ -217,11 +265,10 @@ RunMetrics ParallelEngine<Node>::run() {
     active_count_ += ws.active_delta;
     ws.active_delta = 0;
   }
+  flush_traces();
 
   const Step max_steps = cfg_.effective_max_steps();
 
-  // Completion function: runs once per barrier phase; alternate meaning is
-  // handled by a flag toggled inside.
   auto on_phase_a_done = [this, max_steps]() noexcept {
     for (auto& ws : workers_) {
       active_count_ += ws.active_delta;
@@ -230,6 +277,7 @@ RunMetrics ParallelEngine<Node>::run() {
       ws.sent = 0;
       ws.delivered = 0;
     }
+    flush_traces();
     ++step_;
     if ((active_count_ == 0 && in_flight_ == 0) || step_ >= max_steps) {
       if (step_ >= max_steps) metrics_.hit_max_steps = true;
@@ -241,47 +289,27 @@ RunMetrics ParallelEngine<Node>::run() {
 
   auto worker_fn = [this, &bar_a, &bar_b](int w) {
     const auto me = static_cast<NodeId>(w);
+    const bool one_per_step = cfg_.rx == RxPolicy::kOnePerStep;
+    auto& ws = workers_[static_cast<std::size_t>(w)];
     std::vector<TimedMsg> due;
     while (!stop_) {
       const Step s = step_;
       // --- phase A: failures, deliveries, ticks ---
       for (NodeId i = me; i < cfg_.n; i += threads_) {
         const auto idx = static_cast<std::size_t>(i);
-        if (alive_[idx] && crash_at_[idx] <= s) {
-          alive_[idx] = false;
-          if (state_[idx] == RunState::kActive)
-            --workers_[static_cast<std::size_t>(w)].active_delta;
-          state_[idx] = RunState::kDone;
+        if (store_.alive(i) && crash_at_[idx] <= s) {
+          const auto t = store_.kill(i);
+          if (t.was_active) --ws.active_delta;
+          trace(w, {s, TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
         }
-        // deliveries due this step
-        auto& q = queue_[idx];
-        due.clear();
-        for (std::size_t k = 0; k < q.size();) {
-          if (q[k].at <= s) {
-            due.push_back(q[k]);
-            q[k] = q.back();
-            q.pop_back();
-          } else {
-            ++k;
-          }
-        }
-        workers_[static_cast<std::size_t>(w)].delivered +=
-            static_cast<std::int64_t>(due.size());
-        if (alive_[idx] && state_[idx] != RunState::kDone) {
-          for (const auto& d : due) {
-            if (state_[idx] == RunState::kDone) break;  // completed mid-drain
-            if (state_[idx] == RunState::kIdle) {
-              state_[idx] = RunState::kActive;
-              activated_at_[idx] = s;
-              ++workers_[static_cast<std::size_t>(w)].active_delta;
-            }
-            Ctx ctx(*this, w, i);
-            nodes_[idx].on_receive(ctx, d.msg);
-          }
-        }
-        if (state_[idx] == RunState::kActive && activated_at_[idx] != s) {
-          Ctx ctx(*this, w, i);
-          nodes_[idx].on_tick(ctx);
+        // Fast path: nothing pending for this node (the common case).
+        if (!queue_[idx].empty() || (one_per_step && !inbox_[idx].empty()))
+          ws.delivered += deliver_for(w, i, due);
+        if (store_.state(i) == NodeRunState::kActive &&
+            store_.activated_at(i) != s) {
+          WorkerView view{this, w};
+          Ctx ctx(view, i);
+          nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
         }
       }
       bar_a.arrive_and_wait();
@@ -290,8 +318,8 @@ RunMetrics ParallelEngine<Node>::run() {
         break;
       }
       // --- phase B: route staged messages to owned nodes ---
-      for (const auto& ws : workers_) {
-        for (const auto& tm : ws.outbox) {
+      for (const auto& other : workers_) {
+        for (const auto& tm : other.outbox) {
           if (tm.to % threads_ == me) {
             queue_[static_cast<std::size_t>(tm.to)].push_back(tm);
           }
@@ -299,7 +327,7 @@ RunMetrics ParallelEngine<Node>::run() {
       }
       bar_b.arrive_and_wait();
       // outboxes cleared by their owners after everyone routed
-      workers_[static_cast<std::size_t>(w)].outbox.clear();
+      ws.outbox.clear();
     }
   };
 
@@ -312,52 +340,8 @@ RunMetrics ParallelEngine<Node>::run() {
     for (auto& th : pool) th.join();
   }
 
-  // finalize metrics (same semantics as the serial engine)
-  metrics_.t_end = step_;
-  for (auto& ws : workers_) {
-    metrics_.msgs_total += ws.msgs_total;
-    metrics_.msgs_gossip += ws.msgs_gossip;
-    metrics_.msgs_correction += ws.msgs_corr;
-    metrics_.msgs_sos += ws.msgs_sos;
-    metrics_.msgs_tree += ws.msgs_tree;
-  }
-  Step last_colored = 0, last_delivered = 0, last_complete = 0;
-  bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
-  for (NodeId i = 0; i < cfg_.n; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (!alive_[idx]) continue;
-    ++metrics_.n_active;
-    if (colored_at_[idx] != kNever) {
-      ++metrics_.n_colored;
-      last_colored = std::max(last_colored, colored_at_[idx]);
-      if (completed_at_[idx] != kNever)
-        last_complete = std::max(last_complete, completed_at_[idx]);
-      else
-        any_incomplete = true;
-    } else {
-      any_uncolored = true;
-    }
-    if (delivered_at_[idx] != kNever) {
-      ++metrics_.n_delivered;
-      last_delivered = std::max(last_delivered, delivered_at_[idx]);
-    } else {
-      any_undelivered = true;
-    }
-  }
-  metrics_.all_active_colored = !any_uncolored;
-  metrics_.all_active_delivered = !any_undelivered;
-  metrics_.t_last_colored = any_uncolored ? kNever : last_colored;
-  metrics_.t_last_colored_partial = last_colored;
-  metrics_.t_last_delivered = any_undelivered ? kNever : last_delivered;
-  metrics_.t_complete = any_incomplete ? kNever : last_complete;
-  metrics_.t_root_complete =
-      completed_at_[static_cast<std::size_t>(cfg_.root)];
-  metrics_.sos_triggered = metrics_.msgs_sos > 0;
-  if (cfg_.record_node_detail) {
-    metrics_.colored_at = colored_at_;
-    metrics_.delivered_at = delivered_at_;
-    metrics_.completed_at = completed_at_;
-  }
+  for (const auto& ws : workers_) ws.counts.merge_into(metrics_);
+  store_.finalize(metrics_, cfg_.root, step_, cfg_.record_node_detail);
   return metrics_;
 }
 

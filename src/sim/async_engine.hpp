@@ -3,22 +3,36 @@
 //
 // Instead of advancing a global step loop over all N nodes, this engine
 // schedules one event per (node, step) for ACTIVE nodes only, plus one
-// event per message delivery.  Time is doubled internally so that all
-// deliveries of a step fire before that step's ticks (even time = phase A,
-// odd = phase B), which makes the execution EXACTLY equivalent to the
-// stepped engine - the tests assert identical metrics.  The event-driven
+// event per message delivery.  Time is tripled internally so that each
+// step's phases fire in the stepped engine's order no matter how events
+// were inserted: crashes and arrivals at 3s, one-per-step inbox pops at
+// 3s + 1, ticks at 3s + 2.  That makes the execution EXACTLY equivalent to
+// the stepped engine - tests/test_async_engine.cpp and
+// tests/test_engine_parity.cpp assert identical metrics.  The event-driven
 // form is the natural host for future irregular-time extensions (g > 0,
 // per-node clock drift) and is faster when only a small fraction of nodes
 // is active for long stretches.
+//
+// The model itself (delays/jitter/loss, node lifecycle, emission gate,
+// metrics finalization, Ctx surface) is shared with the other engines via
+// src/sim/core/ - this file only schedules.
 #pragma once
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
-#include "sim/engine.hpp"
+#include "sim/core/basic_ctx.hpp"
+#include "sim/core/network_model.hpp"
+#include "sim/core/node_state.hpp"
+#include "sim/core/run_config.hpp"
+#include "sim/core/send_gate.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace cg {
 
@@ -26,134 +40,165 @@ template <class Node>
 class AsyncEngine {
  public:
   using Params = typename Node::Params;
+  using Ctx = BasicCtx<AsyncEngine>;
 
   AsyncEngine(RunConfig cfg, Params params)
       : cfg_(std::move(cfg)), params_(std::move(params)) {
     CG_CHECK(cfg_.n >= 1);
     CG_CHECK(cfg_.root >= 0 && cfg_.root < cfg_.n);
-    CG_CHECK_MSG(cfg_.rx == RxPolicy::kDrainAll,
-                 "AsyncEngine models drain-all receives only");
     cfg_.logp.validate();
   }
-
-  class Ctx {
-   public:
-    Step now() const { return eng_.q_.now() / 2; }
-    NodeId self() const { return self_; }
-    NodeId n() const { return eng_.cfg_.n; }
-    NodeId root() const { return eng_.cfg_.root; }
-    bool is_root() const { return self_ == eng_.cfg_.root; }
-    const LogP& logp() const { return eng_.cfg_.logp; }
-    Xoshiro256& rng() { return eng_.rng_[static_cast<std::size_t>(self_)]; }
-
-    void send(NodeId to, const Message& m) { eng_.do_send(self_, to, m); }
-    void activate() { eng_.do_activate(self_); }
-    void mark_colored() { eng_.mark(eng_.colored_at_, self_); }
-    void deliver() { eng_.mark(eng_.delivered_at_, self_); }
-    void complete() { eng_.do_complete(self_); }
-    bool colored() const {
-      return eng_.colored_at_[static_cast<std::size_t>(self_)] != kNever;
-    }
-
-   private:
-    friend class AsyncEngine;
-    Ctx(AsyncEngine& e, NodeId self) : eng_(e), self_(self) {}
-    AsyncEngine& eng_;
-    NodeId self_;
-  };
 
   RunMetrics run();
 
   const Node& node(NodeId i) const { return nodes_[static_cast<std::size_t>(i)]; }
 
- private:
-  enum class RunState : std::uint8_t { kIdle, kActive, kDone };
+  // --- BasicCtx hooks (protocol-facing; not part of the public API) ------
+  Step ctx_now() const { return step_now(); }
+  const RunConfig& ctx_cfg() const { return cfg_; }
+  Xoshiro256& ctx_rng(NodeId i) { return rng_[static_cast<std::size_t>(i)]; }
+  void ctx_send(NodeId from, NodeId to, const Message& m) {
+    do_send(from, to, m);
+  }
+  void ctx_activate(NodeId i) { do_activate(i); }
+  void ctx_mark_colored(NodeId i) {
+    if (store_.mark_colored(i, step_now()))
+      trace({step_now(), TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
+  }
+  void ctx_deliver(NodeId i) {
+    if (store_.mark_delivered(i, step_now()))
+      trace({step_now(), TraceEvent::Kind::kDelivered, i, kNoNode,
+             Tag::kGossip});
+  }
+  void ctx_complete(NodeId i) {
+    if (store_.complete(i, step_now()).changed)
+      trace({step_now(), TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
+  }
+  bool ctx_colored(NodeId i) const { return store_.colored(i); }
 
-  Step step_now() const { return q_.now() / 2; }
+ private:
+  // Phases within a step (internal time = step * kPhases + phase).  Keeping
+  // pops on their own phase means a pop event never races an arrival event
+  // for the same step on heap insertion order.
+  static constexpr Step kPhases = 3;
+  static constexpr Step kPhaseArrive = 0;  // crashes, then message arrivals
+  static constexpr Step kPhaseRx = 1;      // kOnePerStep inbox pops
+  static constexpr Step kPhaseTick = 2;    // on_tick for active nodes
+
+  Step step_now() const { return q_.now() / kPhases; }
 
   void do_send(NodeId from, NodeId to, const Message& m) {
-    CG_CHECK(to >= 0 && to < cfg_.n && to != from);
-    ++metrics_.msgs_total;
-    switch (m.tag) {
-      case Tag::kGossip: ++metrics_.msgs_gossip; break;
-      case Tag::kOcgCorr:
-      case Tag::kFwd:
-      case Tag::kBwd: ++metrics_.msgs_correction; break;
-      case Tag::kSos: ++metrics_.msgs_sos; break;
-      default: ++metrics_.msgs_tree; break;
-    }
-    if (cfg_.drop_prob > 0.0 &&
-        loss_rng_[static_cast<std::size_t>(from)].uniform01() <
-            cfg_.drop_prob) {
-      return;  // lost on the wire (already counted as work)
-    }
+    CG_CHECK(to >= 0 && to < cfg_.n);
+    CG_CHECK_MSG(to != from, "node sent a message to itself");
+    const Step now = step_now();
+    gate_.on_send(from, now);
+    counts_.add(m.tag);
+    if (cfg_.trace != nullptr)
+      trace({now, TraceEvent::Kind::kSend, from, to, m.tag});
+
+    const Step at = net_.route(from, to, now);
+    if (at == NetworkModel::kLost) return;  // lost on the wire (counted)
+
     Message out = m;
     out.src = from;
-    Step delay = cfg_.logp.delivery_delay();
-    if (cfg_.jitter_max > 0)
-      delay += jitter_rng_[static_cast<std::size_t>(from)].uniform(
-          0, cfg_.jitter_max);
-    if (cfg_.link_extra) delay += cfg_.link_extra(from, to);
-    const Step phase_a = (step_now() + delay) * 2;  // deliveries: even time
-    q_.schedule_at(phase_a, [this, to, out] { dispatch(to, out); });
+    q_.schedule_at(at * kPhases + kPhaseArrive,
+                   [this, to, out] { on_arrival(to, out); });
+  }
+
+  void on_arrival(NodeId to, const Message& m) {
+    if (cfg_.rx == RxPolicy::kDrainAll) {
+      dispatch(to, m);
+      return;
+    }
+    // kOnePerStep: queue the message; same-step arrivals keep the canonical
+    // rx order within the inbox tail so every engine defers the same one.
+    const Step s = step_now();
+    const auto idx = static_cast<std::size_t>(to);
+    auto& box = inbox_[idx];
+    if (inbox_stamp_[idx] != s) {
+      inbox_stamp_[idx] = s;
+      inbox_tail_[idx] = box.size();
+    }
+    const auto tail = box.begin() + static_cast<std::ptrdiff_t>(inbox_tail_[idx]);
+    box.insert(std::upper_bound(tail, box.end(), m, rx_order_before), m);
+    if (rx_sched_[idx] == kNever) {
+      const Step at = std::max(s, rx_next_[idx]);
+      rx_sched_[idx] = at;
+      schedule_rx(to, at);
+    }
+  }
+
+  void schedule_rx(NodeId i, Step at_step) {
+    q_.schedule_at(at_step * kPhases + kPhaseRx, [this, i, at_step] {
+      const auto idx = static_cast<std::size_t>(i);
+      rx_next_[idx] = at_step + 1;
+      auto& box = inbox_[idx];
+      const Message m = box.front();
+      box.pop_front();
+      if (box.empty()) {
+        rx_sched_[idx] = kNever;
+      } else {
+        rx_sched_[idx] = at_step + 1;
+        schedule_rx(i, at_step + 1);
+      }
+      dispatch(i, m);
+    });
   }
 
   void dispatch(NodeId to, const Message& m) {
-    const auto idx = static_cast<std::size_t>(to);
-    if (!alive_[idx] || state_[idx] == RunState::kDone) return;
-    if (state_[idx] == RunState::kIdle) do_activate(to);
+    if (!store_.alive(to) || store_.done(to)) return;  // dropped
+    do_activate(to);
+    if (cfg_.trace != nullptr)
+      trace({step_now(), TraceEvent::Kind::kDeliver, to, m.src, m.tag});
     Ctx ctx(*this, to);
-    nodes_[idx].on_receive(ctx, m);
+    nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
   }
 
   void do_activate(NodeId i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (state_[idx] != RunState::kIdle) return;
-    state_[idx] = RunState::kActive;
-    // First tick one step after activation (receive overhead O).
+    if (!store_.activate(i, step_now())) return;
+    // First tick one step after activation (receive overhead O) - the
+    // stepped engine's activated_at_ == step tick skip.
     schedule_tick(i, step_now() + 1);
   }
 
   void schedule_tick(NodeId i, Step at_step) {
-    q_.schedule_at(at_step * 2 + 1, [this, i, at_step] {
+    q_.schedule_at(at_step * kPhases + kPhaseTick, [this, i, at_step] {
       const auto idx = static_cast<std::size_t>(i);
-      if (!alive_[idx] || state_[idx] == RunState::kDone) return;
-      if (alive_[idx] && crash_at_[idx] <= at_step) {
+      if (!store_.alive(i) || store_.done(i)) return;
+      if (crash_at_[idx] <= at_step) {
         kill(i);
         return;
       }
       Ctx ctx(*this, i);
       nodes_[idx].on_tick(ctx);
-      if (state_[idx] == RunState::kActive) schedule_tick(i, at_step + 1);
+      if (store_.state(i) == NodeRunState::kActive) schedule_tick(i, at_step + 1);
     });
   }
 
-  void do_complete(NodeId i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (state_[idx] == RunState::kDone) return;
-    state_[idx] = RunState::kDone;
-    completed_at_[idx] = step_now();
-  }
-
   void kill(NodeId i) {
-    const auto idx = static_cast<std::size_t>(i);
-    alive_[idx] = false;
-    state_[idx] = RunState::kDone;
+    if (store_.kill(i).changed)
+      trace({step_now(), TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
   }
 
-  void mark(std::vector<Step>& arr, NodeId i) {
-    auto& v = arr[static_cast<std::size_t>(i)];
-    if (v == kNever) v = step_now();
+  void trace(TraceEvent ev) {
+    if (cfg_.trace != nullptr) cfg_.trace->on_event(ev);
   }
 
   RunConfig cfg_;
   Params params_;
   EventQueue q_;
   std::vector<Node> nodes_;
-  std::vector<Xoshiro256> rng_, jitter_rng_, loss_rng_;
-  std::vector<bool> alive_;
-  std::vector<RunState> state_;
-  std::vector<Step> colored_at_, delivered_at_, completed_at_, crash_at_;
+  std::vector<Xoshiro256> rng_;
+  NetworkModel net_;
+  NodeStateStore store_;
+  SendGate gate_;
+  MessageCounts counts_;
+  std::vector<Step> crash_at_;
+  std::vector<std::deque<Message>> inbox_;  // kOnePerStep only
+  std::vector<Step> inbox_stamp_;           // kOnePerStep scratch
+  std::vector<std::size_t> inbox_tail_;     // kOnePerStep scratch
+  std::vector<Step> rx_next_;               // next step a pop is allowed
+  std::vector<Step> rx_sched_;              // scheduled pop step, or kNever
   RunMetrics metrics_{};
 };
 
@@ -167,48 +212,38 @@ RunMetrics AsyncEngine<Node>::run() {
   rng_.reserve(n);
   for (NodeId i = 0; i < cfg_.n; ++i)
     rng_.emplace_back(derive_seed(cfg_.seed, static_cast<std::uint64_t>(i)));
-  jitter_rng_.clear();
-  if (cfg_.jitter_max > 0) {
-    jitter_rng_.reserve(n);
-    for (NodeId i = 0; i < cfg_.n; ++i)
-      jitter_rng_.emplace_back(derive_seed(
-          cfg_.seed, static_cast<std::uint64_t>(i) + 0x4A17E500000000ULL));
-  }
-  loss_rng_.clear();
-  if (cfg_.drop_prob > 0.0) {
-    loss_rng_.reserve(n);
-    for (NodeId i = 0; i < cfg_.n; ++i)
-      loss_rng_.emplace_back(derive_seed(
-          cfg_.seed, static_cast<std::uint64_t>(i) + 0x10550000000000ULL));
-  }
-  alive_.assign(n, true);
-  state_.assign(n, RunState::kIdle);
-  colored_at_.assign(n, kNever);
-  delivered_at_.assign(n, kNever);
-  completed_at_.assign(n, kNever);
+  net_.reset(cfg_);
+  store_.reset(cfg_.n);
+  gate_.reset(cfg_.n);
+  counts_ = MessageCounts{};
   crash_at_.assign(n, kNever);
-  metrics_ = RunMetrics{};
-  metrics_.n_total = cfg_.n;
-
-  for (const NodeId i : cfg_.failures.pre_failed) {
-    alive_[static_cast<std::size_t>(i)] = false;
-    state_[static_cast<std::size_t>(i)] = RunState::kDone;
+  if (cfg_.rx == RxPolicy::kOnePerStep) {
+    inbox_.assign(n, {});
+    inbox_stamp_.assign(n, -1);
+    inbox_tail_.assign(n, 0);
+    rx_next_.assign(n, 0);
+    rx_sched_.assign(n, kNever);
   }
-  CG_CHECK(alive_[static_cast<std::size_t>(cfg_.root)]);
+  metrics_ = RunMetrics{};
+
+  for (const NodeId i : cfg_.failures.pre_failed) store_.pre_fail(i);
+  CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
   for (const auto& of : cfg_.failures.online) {
     auto& c = crash_at_[static_cast<std::size_t>(of.node)];
     c = std::min(c, of.at_step);
     // A crash event guarantees the node dies even if it has no tick
-    // pending (idle nodes); fire at phase A of the crash step.
-    q_.schedule_at(std::max<Step>(of.at_step, 0) * 2,
+    // pending (idle nodes); fire in the arrival phase of the crash step,
+    // before that step's deliveries (these events are scheduled first, so
+    // FIFO-within-time runs them ahead of any arrival).
+    q_.schedule_at(std::max<Step>(of.at_step, 0) * kPhases + kPhaseArrive,
                    [this, node = of.node] { kill(node); });
   }
 
   // Root is active from step 0; everyone alive gets on_start.
-  state_[static_cast<std::size_t>(cfg_.root)] = RunState::kActive;
+  store_.activate(cfg_.root, 0);
   schedule_tick(cfg_.root, 1);
   for (NodeId i = 0; i < cfg_.n; ++i) {
-    if (!alive_[static_cast<std::size_t>(i)]) continue;
+    if (!store_.alive(i)) continue;
     Ctx ctx(*this, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
   }
@@ -222,44 +257,8 @@ RunMetrics AsyncEngine<Node>::run() {
     }
   }
 
-  // finalize (same semantics as the stepped engine)
-  metrics_.t_end = step_now();
-  Step last_colored = 0, last_delivered = 0, last_complete = 0;
-  bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
-  for (NodeId i = 0; i < cfg_.n; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (!alive_[idx]) continue;
-    ++metrics_.n_active;
-    if (colored_at_[idx] != kNever) {
-      ++metrics_.n_colored;
-      last_colored = std::max(last_colored, colored_at_[idx]);
-      if (completed_at_[idx] != kNever)
-        last_complete = std::max(last_complete, completed_at_[idx]);
-      else
-        any_incomplete = true;
-    } else {
-      any_uncolored = true;
-    }
-    if (delivered_at_[idx] != kNever) {
-      ++metrics_.n_delivered;
-      last_delivered = std::max(last_delivered, delivered_at_[idx]);
-    } else {
-      any_undelivered = true;
-    }
-  }
-  metrics_.all_active_colored = !any_uncolored;
-  metrics_.all_active_delivered = !any_undelivered;
-  metrics_.t_last_colored = any_uncolored ? kNever : last_colored;
-  metrics_.t_last_colored_partial = last_colored;
-  metrics_.t_last_delivered = any_undelivered ? kNever : last_delivered;
-  metrics_.t_complete = any_incomplete ? kNever : last_complete;
-  metrics_.t_root_complete = completed_at_[static_cast<std::size_t>(cfg_.root)];
-  metrics_.sos_triggered = metrics_.msgs_sos > 0;
-  if (cfg_.record_node_detail) {
-    metrics_.colored_at = colored_at_;
-    metrics_.delivered_at = delivered_at_;
-    metrics_.completed_at = completed_at_;
-  }
+  counts_.merge_into(metrics_);
+  store_.finalize(metrics_, cfg_.root, step_now(), cfg_.record_node_detail);
   return metrics_;
 }
 

@@ -1,0 +1,146 @@
+// Delivery-effect model shared by every execution engine.
+//
+// NetworkModel owns everything that happens to a message between send and
+// receive: the LogP base delay (L/O + 1), uniform per-message jitter,
+// deterministic per-link extra latency, and i.i.d. message loss.  Loss and
+// jitter each draw from a DEDICATED per-sender RNG stream, and a sender's
+// messages are routed in program order on every engine, so the fate of each
+// message is bit-identical across the stepped, event-driven and parallel
+// engines (and across thread counts) for a given seed.
+//
+// Thread-safety contract (parallel engine): route(from, ...) mutates only
+// the sender's streams, and node `from`'s callbacks run only on its owner
+// worker, so concurrent route() calls for different senders never race.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/message.hpp"
+#include "sim/core/run_config.hpp"
+#include "sim/metrics.hpp"
+
+namespace cg {
+
+class NetworkModel {
+ public:
+  /// route() result for a message lost on the wire.
+  static constexpr Step kLost = -1;
+
+  void reset(const RunConfig& cfg) {
+    base_delay_ = cfg.logp.delivery_delay();
+    jitter_max_ = cfg.jitter_max;
+    link_extra_ = cfg.link_extra;
+    link_extra_max_ = cfg.link_extra_max;
+    drop_prob_ = cfg.drop_prob;
+    const auto n = static_cast<std::size_t>(cfg.n);
+    jitter_rng_.clear();
+    if (jitter_max_ > 0) {
+      jitter_rng_.reserve(n);
+      for (NodeId i = 0; i < cfg.n; ++i)
+        jitter_rng_.emplace_back(derive_seed(
+            cfg.seed, static_cast<std::uint64_t>(i) + kJitterStream));
+    }
+    loss_rng_.clear();
+    if (drop_prob_ > 0.0) {
+      CG_CHECK(drop_prob_ < 1.0);
+      loss_rng_.reserve(n);
+      for (NodeId i = 0; i < cfg.n; ++i)
+        loss_rng_.emplace_back(derive_seed(
+            cfg.seed, static_cast<std::uint64_t>(i) + kLossStream));
+    }
+  }
+
+  /// Decide the fate of one message emitted at step `now`: kLost if it is
+  /// dropped, otherwise the absolute delivery step.  Consumes the sender's
+  /// loss stream first and its jitter stream only for surviving messages,
+  /// in exactly that order on every engine.
+  Step route(NodeId from, NodeId to, Step now) {
+    if (drop_prob_ > 0.0 &&
+        loss_rng_[static_cast<std::size_t>(from)].uniform01() < drop_prob_)
+      return kLost;
+    Step at = now + base_delay_;
+    if (jitter_max_ > 0)
+      at += jitter_rng_[static_cast<std::size_t>(from)].uniform(0, jitter_max_);
+    if (link_extra_) {
+      const Step extra = link_extra_(from, to);
+      CG_CHECK(extra >= 0 && extra <= link_extra_max_);
+      at += extra;
+    }
+    return at;
+  }
+
+  /// Upper bound on send-to-delivery delay (delivery-calendar ring sizing).
+  Step max_delay() const { return base_delay_ + jitter_max_ + link_extra_max_; }
+
+ private:
+  // Stream-derivation offsets (kept from the original engines so seeds keep
+  // producing the same runs).
+  static constexpr std::uint64_t kJitterStream = 0x4A17E500000000ULL;
+  static constexpr std::uint64_t kLossStream = 0x10550000000000ULL;
+
+  Step base_delay_ = 1;
+  Step jitter_max_ = 0;
+  std::function<Step(NodeId, NodeId)> link_extra_;
+  Step link_extra_max_ = 0;
+  double drop_prob_ = 0.0;
+  std::vector<Xoshiro256> jitter_rng_;
+  std::vector<Xoshiro256> loss_rng_;
+};
+
+/// Per-tag message-work accounting, identical across engines (the serial
+/// engine's convention is canonical: pull requests count as gossip work,
+/// tree/ack/nack as tree work).  The parallel engine keeps one instance per
+/// worker and merges at the end of the run.
+struct MessageCounts {
+  std::int64_t total = 0;
+  std::int64_t gossip = 0;
+  std::int64_t correction = 0;
+  std::int64_t sos = 0;
+  std::int64_t tree = 0;
+
+  void add(Tag t) {
+    ++total;
+    switch (t) {
+      case Tag::kGossip:
+      case Tag::kPullReq: ++gossip; break;
+      case Tag::kOcgCorr:
+      case Tag::kFwd:
+      case Tag::kBwd: ++correction; break;
+      case Tag::kSos: ++sos; break;
+      case Tag::kTree:
+      case Tag::kNack:
+      case Tag::kAck: ++tree; break;
+    }
+  }
+
+  void merge_into(RunMetrics& m) const {
+    m.msgs_total += total;
+    m.msgs_gossip += gossip;
+    m.msgs_correction += correction;
+    m.msgs_sos += sos;
+    m.msgs_tree += tree;
+  }
+};
+
+/// Canonical processing order for messages arriving at the same node in the
+/// same step under RxPolicy::kOnePerStep.  Engines enqueue same-step
+/// arrivals in this order (a node sends at most once per step, so `src`
+/// almost always decides; the remaining comparisons make the order total on
+/// message CONTENT - under jitter one sender's messages from different
+/// steps can share an arrival step), which makes "which message is deferred
+/// to the next step" identical across engines regardless of internal
+/// scheduling.  Fully identical messages are interchangeable.
+inline bool rx_order_before(const Message& a, const Message& b) {
+  if (a.src != b.src) return a.src < b.src;
+  if (a.tag != b.tag) return a.tag < b.tag;
+  if (a.time != b.time) return a.time < b.time;
+  if (a.known_count != b.known_count) return a.known_count < b.known_count;
+  for (std::uint8_t i = 0; i < a.known_count; ++i)
+    if (a.known[i] != b.known[i]) return a.known[i] < b.known[i];
+  return false;
+}
+
+}  // namespace cg

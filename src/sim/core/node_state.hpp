@@ -1,0 +1,170 @@
+// Node lifecycle state shared by every execution engine.
+//
+// NodeStateStore owns the per-node arrays (alive, Idle/Active/Done state,
+// colored/delivered/completed/activated timestamps) and the transition
+// rules between them, plus the single RunMetrics finalization all engines
+// use.  Engines own scheduling and active/in-flight counting; this class
+// owns what "activated", "colored", "delivered", "completed" and "crashed"
+// MEAN, so the semantics cannot drift between engines.
+//
+// Thread-safety contract (parallel engine): every mutating call for node i
+// must come from the worker that owns i.  All fields are at least one byte
+// per node (no vector<bool> bit packing), so owner-disjoint access is free
+// of data races.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/metrics.hpp"
+
+namespace cg {
+
+/// Lifecycle of a node during a run.  Nodes begin Idle (except the root),
+/// become Active on their first receive (or explicit activate()), and Done
+/// when they complete or crash.
+enum class NodeRunState : std::uint8_t { kIdle, kActive, kDone };
+
+class NodeStateStore {
+ public:
+  /// Outcome of a complete()/kill() call, so engines can maintain their own
+  /// active-node accounting (a plain counter, per-worker deltas, ...).
+  struct Transition {
+    bool changed = false;     ///< the call performed a state change
+    bool was_active = false;  ///< the node was Active before the change
+  };
+
+  void reset(NodeId n) {
+    const auto sz = static_cast<std::size_t>(n);
+    n_ = n;
+    alive_.assign(sz, 1);
+    state_.assign(sz, NodeRunState::kIdle);
+    colored_at_.assign(sz, kNever);
+    delivered_at_.assign(sz, kNever);
+    completed_at_.assign(sz, kNever);
+    activated_at_.assign(sz, kNever);
+  }
+
+  NodeId n() const { return n_; }
+  bool alive(NodeId i) const { return alive_[idx(i)] != 0; }
+  NodeRunState state(NodeId i) const { return state_[idx(i)]; }
+  bool done(NodeId i) const { return state_[idx(i)] == NodeRunState::kDone; }
+  bool colored(NodeId i) const { return colored_at_[idx(i)] != kNever; }
+  Step activated_at(NodeId i) const { return activated_at_[idx(i)]; }
+  Step completed_at(NodeId i) const { return completed_at_[idx(i)]; }
+
+  /// Mark a node dead before the run starts (failure set F at t=0).
+  void pre_fail(NodeId i) {
+    CG_CHECK(i >= 0 && i < n_);
+    alive_[idx(i)] = 0;
+    state_[idx(i)] = NodeRunState::kDone;
+  }
+
+  /// Idle -> Active; returns true if the transition happened.
+  bool activate(NodeId i, Step now) {
+    if (state_[idx(i)] != NodeRunState::kIdle) return false;
+    state_[idx(i)] = NodeRunState::kActive;
+    activated_at_[idx(i)] = now;
+    return true;
+  }
+
+  /// Protocol exit: -> Done, recording the completion step.
+  Transition complete(NodeId i, Step now) {
+    const NodeRunState st = state_[idx(i)];
+    if (st == NodeRunState::kDone) return {};
+    state_[idx(i)] = NodeRunState::kDone;
+    completed_at_[idx(i)] = now;
+    return {true, st == NodeRunState::kActive};
+  }
+
+  /// Crash: the node performs no further action.  completed_at stays kNever
+  /// (dead nodes are excluded from every metric).
+  Transition kill(NodeId i) {
+    if (alive_[idx(i)] == 0) return {};
+    const NodeRunState st = state_[idx(i)];
+    alive_[idx(i)] = 0;
+    state_[idx(i)] = NodeRunState::kDone;
+    return {true, st == NodeRunState::kActive};
+  }
+
+  /// Record payload receipt; returns true the first time only.
+  bool mark_colored(NodeId i, Step now) {
+    auto& c = colored_at_[idx(i)];
+    if (c != kNever) return false;
+    c = now;
+    return true;
+  }
+
+  /// Record formal delivery (FCG semantics); returns true the first time.
+  bool mark_delivered(NodeId i, Step now) {
+    auto& d = delivered_at_[idx(i)];
+    if (d != kNever) return false;
+    d = now;
+    return true;
+  }
+
+  /// The single RunMetrics finalization all engines share.  Message counters
+  /// (msgs_*) must already be merged into `m`; this fills the population,
+  /// timing and flag fields from the per-node arrays.
+  void finalize(RunMetrics& m, NodeId root, Step t_end,
+                bool record_node_detail) const {
+    m.n_total = n_;
+    m.t_end = t_end;
+    Step last_colored = 0, last_delivered = 0, last_complete = 0;
+    bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
+    for (NodeId i = 0; i < n_; ++i) {
+      if (alive_[idx(i)] == 0) continue;
+      ++m.n_active;
+      if (colored_at_[idx(i)] != kNever) {
+        ++m.n_colored;
+        last_colored = std::max(last_colored, colored_at_[idx(i)]);
+        if (completed_at_[idx(i)] != kNever)
+          last_complete = std::max(last_complete, completed_at_[idx(i)]);
+        else
+          any_incomplete = true;
+      } else {
+        any_uncolored = true;
+      }
+      if (delivered_at_[idx(i)] != kNever) {
+        ++m.n_delivered;
+        last_delivered = std::max(last_delivered, delivered_at_[idx(i)]);
+      } else {
+        any_undelivered = true;
+      }
+    }
+    m.all_active_colored = !any_uncolored;
+    m.all_active_delivered = !any_undelivered;
+    m.t_last_colored = any_uncolored ? kNever : last_colored;
+    m.t_last_colored_partial = last_colored;
+    m.t_last_delivered = any_undelivered ? kNever : last_delivered;
+    // Completion is over COLORED nodes: a weakly consistent protocol
+    // (GOS/OCG) legitimately finishes while some nodes were never reached.
+    m.t_complete = any_incomplete ? kNever : last_complete;
+    m.sos_triggered = m.msgs_sos > 0;
+    m.t_root_complete = completed_at_[idx(root)];
+    if (record_node_detail) {
+      m.colored_at = colored_at_;
+      m.delivered_at = delivered_at_;
+      m.completed_at = completed_at_;
+    }
+  }
+
+ private:
+  static std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+  NodeId n_ = 0;
+  // std::uint8_t, not vector<bool>: the parallel engine writes these from
+  // different threads for different nodes; byte-sized elements keep that
+  // race-free under the C++ memory model.
+  std::vector<std::uint8_t> alive_;
+  std::vector<NodeRunState> state_;
+  std::vector<Step> colored_at_;
+  std::vector<Step> delivered_at_;
+  std::vector<Step> completed_at_;
+  std::vector<Step> activated_at_;
+};
+
+}  // namespace cg

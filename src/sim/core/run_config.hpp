@@ -1,0 +1,57 @@
+// Run configuration shared by every execution engine (stepped, event-driven,
+// parallel).  The engines differ only in *scheduling*; everything that
+// defines the simulated system - size, LogP parameters, RNG seeding, failure
+// schedule, network effects, receive policy - lives here so a RunConfig means
+// exactly the same thing no matter which engine executes it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/failure.hpp"
+#include "sim/logp.hpp"
+#include "sim/trace.hpp"
+
+namespace cg {
+
+/// How receive overhead is modeled (DESIGN.md Section 2).
+enum class RxPolicy : std::uint8_t {
+  kDrainAll,    ///< all pending messages processed in their arrival step
+                ///< (matches the pseudo-code's "while check for receive")
+  kOnePerStep,  ///< at most one receive per node per step (strict LogP o)
+};
+
+struct RunConfig {
+  NodeId n = 0;             ///< N, size of the name space
+  NodeId root = 0;
+  LogP logp{};
+  RxPolicy rx = RxPolicy::kDrainAll;
+  std::uint64_t seed = 1;   ///< seeds all per-node RNG streams
+  Step max_steps = 0;       ///< 0 = auto (10*N + 64*(L/O+2) + 1024)
+  FailureSchedule failures{};
+  bool record_node_detail = false;
+  TraceSink* trace = nullptr;  ///< not owned; may be nullptr
+  /// Model extension beyond the paper: add a uniform random extra delay of
+  /// 0..jitter_max steps to every message (network variance).  Protocols'
+  /// phase boundaries still use the synchronized clock; the ablation bench
+  /// shows how robust each algorithm is to the resulting reordering.
+  Step jitter_max = 0;
+  /// Model extension: deterministic per-link extra latency (e.g., a
+  /// two-level rack hierarchy).  extra(from, to) must be in
+  /// [0, link_extra_max] and pure.  nullptr = uniform network (the paper).
+  std::function<Step(NodeId from, NodeId to)> link_extra;
+  Step link_extra_max = 0;
+  /// Model extension: each message is lost independently with this
+  /// probability (the paper assumes reliable channels; the ablation shows
+  /// which guarantees survive when that assumption breaks).  Lost messages
+  /// still count as sent work.
+  double drop_prob = 0.0;
+
+  Step effective_max_steps() const {
+    return max_steps > 0
+               ? max_steps
+               : 10 * static_cast<Step>(n) + 64 * (logp.l_over_o + 2) + 1024;
+  }
+};
+
+}  // namespace cg

@@ -8,7 +8,15 @@
 //
 // A message emitted during on_tick at step s is delivered at step
 // s + L/O + 1.  Protocols may emit AT MOST ONE message per node per step
-// (enforced), which models the per-message overhead O of the LogP model.
+// (enforced by the shared SendGate), which models the per-message overhead
+// O of the LogP model.
+//
+// The model itself lives in src/sim/core/: NetworkModel (delays, jitter,
+// per-link extras, loss), NodeStateStore (lifecycle + RunMetrics
+// finalization), SendGate (emission rate limit) and BasicCtx (the protocol
+// -facing API).  This engine, the event-driven AsyncEngine and the
+// multi-threaded ParallelEngine are three schedulers over that one model
+// and produce identical RunMetrics (tests/test_engine_parity.cpp).
 //
 // Protocol (Node) requirements - a Node type must provide:
 //   struct Params {...};
@@ -25,7 +33,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -33,6 +40,11 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "proto/message.hpp"
+#include "sim/core/basic_ctx.hpp"
+#include "sim/core/network_model.hpp"
+#include "sim/core/node_state.hpp"
+#include "sim/core/run_config.hpp"
+#include "sim/core/send_gate.hpp"
 #include "sim/failure.hpp"
 #include "sim/logp.hpp"
 #include "sim/metrics.hpp"
@@ -40,50 +52,11 @@
 
 namespace cg {
 
-/// How receive overhead is modeled (DESIGN.md Section 2).
-enum class RxPolicy : std::uint8_t {
-  kDrainAll,    ///< all pending messages processed in their arrival step
-                ///< (matches the pseudo-code's "while check for receive")
-  kOnePerStep,  ///< at most one receive per node per step (strict LogP o)
-};
-
-struct RunConfig {
-  NodeId n = 0;             ///< N, size of the name space
-  NodeId root = 0;
-  LogP logp{};
-  RxPolicy rx = RxPolicy::kDrainAll;
-  std::uint64_t seed = 1;   ///< seeds all per-node RNG streams
-  Step max_steps = 0;       ///< 0 = auto (10*N + 64*(L/O+2) + 1024)
-  FailureSchedule failures{};
-  bool record_node_detail = false;
-  TraceSink* trace = nullptr;  ///< not owned; may be nullptr
-  /// Model extension beyond the paper: add a uniform random extra delay of
-  /// 0..jitter_max steps to every message (network variance).  Protocols'
-  /// phase boundaries still use the synchronized clock; the ablation bench
-  /// shows how robust each algorithm is to the resulting reordering.
-  Step jitter_max = 0;
-  /// Model extension: deterministic per-link extra latency (e.g., a
-  /// two-level rack hierarchy).  extra(from, to) must be in
-  /// [0, link_extra_max] and pure.  nullptr = uniform network (the paper).
-  std::function<Step(NodeId from, NodeId to)> link_extra;
-  Step link_extra_max = 0;
-  /// Model extension: each message is lost independently with this
-  /// probability (the paper assumes reliable channels; the ablation shows
-  /// which guarantees survive when that assumption breaks).  Lost messages
-  /// still count as sent work.
-  double drop_prob = 0.0;
-
-  Step effective_max_steps() const {
-    return max_steps > 0
-               ? max_steps
-               : 10 * static_cast<Step>(n) + 64 * (logp.l_over_o + 2) + 1024;
-  }
-};
-
 template <class Node>
 class Engine {
  public:
   using Params = typename Node::Params;
+  using Ctx = BasicCtx<Engine>;
 
   Engine(RunConfig cfg, Params params)
       : cfg_(std::move(cfg)), params_(std::move(params)) {
@@ -92,60 +65,44 @@ class Engine {
     cfg_.logp.validate();
   }
 
-  /// Execution context handed to protocol callbacks.
-  class Ctx {
-   public:
-    Step now() const { return eng_.step_; }
-    NodeId self() const { return self_; }
-    NodeId n() const { return eng_.cfg_.n; }
-    NodeId root() const { return eng_.cfg_.root; }
-    bool is_root() const { return self_ == eng_.cfg_.root; }
-    const LogP& logp() const { return eng_.cfg_.logp; }
-    Xoshiro256& rng() { return eng_.rng_[static_cast<std::size_t>(self_)]; }
-
-    /// Emit one message; delivered at now() + L/O + 1.
-    void send(NodeId to, const Message& m) { eng_.do_send(self_, to, m); }
-
-    /// Make an Idle node Active (used by protocols whose on_start seeds
-    /// state on non-root nodes, e.g. the testing pre-colored hook).
-    void activate() { eng_.do_activate(self_); }
-
-    /// Record that this node now holds the broadcast payload.
-    void mark_colored() { eng_.do_mark_colored(self_); }
-    /// Record formal delivery to the client (FCG semantics).
-    void deliver() { eng_.do_deliver(self_); }
-    /// Exit the algorithm; no further callbacks for this node.
-    void complete() { eng_.do_complete(self_); }
-
-    bool colored() const {
-      return eng_.colored_at_[static_cast<std::size_t>(self_)] != kNever;
-    }
-
-   private:
-    friend class Engine;
-    Ctx(Engine& e, NodeId self) : eng_(e), self_(self) {}
-    Engine& eng_;
-    NodeId self_;
-  };
-
   RunMetrics run();
 
   /// Access a node's protocol state after (or during) the run - tests only.
   const Node& node(NodeId i) const { return nodes_[static_cast<std::size_t>(i)]; }
 
- private:
-  enum class RunState : std::uint8_t { kIdle, kActive, kDone };
+  // --- BasicCtx hooks (protocol-facing; not part of the public API) ------
+  Step ctx_now() const { return step_; }
+  const RunConfig& ctx_cfg() const { return cfg_; }
+  Xoshiro256& ctx_rng(NodeId i) { return rng_[static_cast<std::size_t>(i)]; }
+  void ctx_send(NodeId from, NodeId to, const Message& m) {
+    do_send(from, to, m);
+  }
+  void ctx_activate(NodeId i) {
+    if (store_.activate(i, step_)) ++active_count_;
+  }
+  void ctx_mark_colored(NodeId i) {
+    if (store_.mark_colored(i, step_))
+      trace({step_, TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
+  }
+  void ctx_deliver(NodeId i) {
+    if (store_.mark_delivered(i, step_))
+      trace({step_, TraceEvent::Kind::kDelivered, i, kNoNode, Tag::kGossip});
+  }
+  void ctx_complete(NodeId i) {
+    const auto t = store_.complete(i, step_);
+    if (!t.changed) return;
+    if (t.was_active) --active_count_;
+    trace({step_, TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
+  }
+  bool ctx_colored(NodeId i) const { return store_.colored(i); }
 
+ private:
   struct Delivery {
     NodeId to;
     Message msg;
   };
 
   void do_send(NodeId from, NodeId to, const Message& m);
-  void do_activate(NodeId i);
-  void do_mark_colored(NodeId i);
-  void do_deliver(NodeId i);
-  void do_complete(NodeId i);
   void apply_failure(NodeId i);
   void dispatch(NodeId to, const Message& m);
   void trace(TraceEvent ev) {
@@ -160,20 +117,16 @@ class Engine {
   Step step_ = 0;
   std::vector<Node> nodes_;
   std::vector<Xoshiro256> rng_;
-  std::vector<Xoshiro256> jitter_rng_;
-  std::vector<Xoshiro256> loss_rng_;
-  std::vector<bool> alive_;
-  std::vector<RunState> state_;
-  std::vector<Step> colored_at_;
-  std::vector<Step> delivered_at_;
-  std::vector<Step> completed_at_;
-  std::vector<Step> activated_at_;
+  NetworkModel net_;
+  NodeStateStore store_;
+  SendGate gate_;
+  MessageCounts counts_;
   std::vector<std::vector<Delivery>> calendar_;  // ring buffer, D+1 slots
   std::vector<std::deque<Message>> inbox_;       // kOnePerStep only
+  std::vector<Step> inbox_stamp_;                // kOnePerStep scratch
+  std::vector<std::size_t> inbox_tail_;          // kOnePerStep scratch
   std::int64_t in_flight_ = 0;
   NodeId active_count_ = 0;
-  NodeId sends_this_step_node_ = kNoNode;  // one-send-per-step enforcement
-  Step sends_this_step_time_ = -1;
   RunMetrics metrics_{};
 };
 
@@ -185,112 +138,39 @@ template <class Node>
 void Engine<Node>::do_send(NodeId from, NodeId to, const Message& m) {
   CG_CHECK(to >= 0 && to < cfg_.n);
   CG_CHECK_MSG(to != from, "node sent a message to itself");
-  // Enforce one emission per node per step (LogP overhead O per message).
-  if (sends_this_step_node_ == from && sends_this_step_time_ == step_) {
-    CG_CHECK_MSG(false, "protocol emitted >1 message in one step");
-  }
-  sends_this_step_node_ = from;
-  sends_this_step_time_ = step_;
-
-  ++metrics_.msgs_total;
-  switch (m.tag) {
-    case Tag::kGossip:
-    case Tag::kPullReq: ++metrics_.msgs_gossip; break;
-    case Tag::kOcgCorr:
-    case Tag::kFwd:
-    case Tag::kBwd: ++metrics_.msgs_correction; break;
-    case Tag::kSos: ++metrics_.msgs_sos; break;
-    case Tag::kTree:
-    case Tag::kNack:
-    case Tag::kAck: ++metrics_.msgs_tree; break;
-  }
-
-  if (cfg_.drop_prob > 0.0 &&
-      loss_rng_[static_cast<std::size_t>(from)].uniform01() < cfg_.drop_prob) {
+  gate_.on_send(from, step_);
+  counts_.add(m.tag);
+  if (cfg_.trace != nullptr)
     trace({step_, TraceEvent::Kind::kSend, from, to, m.tag});
-    return;  // lost on the wire (already counted as work)
-  }
+
+  const Step at = net_.route(from, to, step_);
+  if (at == NetworkModel::kLost) return;  // lost on the wire (counted as work)
 
   Message out = m;
   out.src = from;
-  Step at = step_ + cfg_.logp.delivery_delay();
-  if (cfg_.jitter_max > 0) {
-    // Per-sender jitter streams: deterministic for a seed and identical
-    // between the serial and parallel engines.
-    at += jitter_rng_[static_cast<std::size_t>(from)].uniform(
-        0, cfg_.jitter_max);
-  }
-  if (cfg_.link_extra) {
-    const Step extra = cfg_.link_extra(from, to);
-    CG_CHECK(extra >= 0 && extra <= cfg_.link_extra_max);
-    at += extra;
-  }
-  auto& slot = calendar_[static_cast<std::size_t>(at % static_cast<Step>(calendar_.size()))];
+  auto& slot = calendar_[static_cast<std::size_t>(
+      at % static_cast<Step>(calendar_.size()))];
   slot.push_back({to, out});
   ++in_flight_;
-  trace({step_, TraceEvent::Kind::kSend, from, to, m.tag});
-}
-
-template <class Node>
-void Engine<Node>::do_activate(NodeId i) {
-  const auto idx = static_cast<std::size_t>(i);
-  if (state_[idx] != RunState::kIdle) return;
-  state_[idx] = RunState::kActive;
-  activated_at_[idx] = step_;
-  ++active_count_;
-}
-
-template <class Node>
-void Engine<Node>::do_mark_colored(NodeId i) {
-  auto& c = colored_at_[static_cast<std::size_t>(i)];
-  if (c == kNever) {
-    c = step_;
-    trace({step_, TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
-  }
-}
-
-template <class Node>
-void Engine<Node>::do_deliver(NodeId i) {
-  auto& d = delivered_at_[static_cast<std::size_t>(i)];
-  if (d == kNever) {
-    d = step_;
-    trace({step_, TraceEvent::Kind::kDelivered, i, kNoNode, Tag::kGossip});
-  }
-}
-
-template <class Node>
-void Engine<Node>::do_complete(NodeId i) {
-  auto& st = state_[static_cast<std::size_t>(i)];
-  if (st == RunState::kDone) return;
-  if (st == RunState::kActive) --active_count_;
-  st = RunState::kDone;
-  completed_at_[static_cast<std::size_t>(i)] = step_;
-  trace({step_, TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
 }
 
 template <class Node>
 void Engine<Node>::apply_failure(NodeId i) {
-  const auto idx = static_cast<std::size_t>(i);
-  if (!alive_[idx]) return;
-  alive_[idx] = false;
-  if (state_[idx] == RunState::kActive) --active_count_;
-  state_[idx] = RunState::kDone;  // it will never act again
+  const auto t = store_.kill(i);
+  if (!t.changed) return;
+  if (t.was_active) --active_count_;
   trace({step_, TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
 }
 
 template <class Node>
 void Engine<Node>::dispatch(NodeId to, const Message& m) {
-  const auto idx = static_cast<std::size_t>(to);
   --in_flight_;
-  if (!alive_[idx] || state_[idx] == RunState::kDone) return;  // dropped
-  if (state_[idx] == RunState::kIdle) {
-    state_[idx] = RunState::kActive;
-    activated_at_[idx] = step_;
-    ++active_count_;
-  }
-  trace({step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+  if (!store_.alive(to) || store_.done(to)) return;  // dropped
+  if (store_.activate(to, step_)) ++active_count_;
+  if (cfg_.trace != nullptr)
+    trace({step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
   Ctx ctx(*this, to);
-  nodes_[idx].on_receive(ctx, m);
+  nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
 }
 
 template <class Node>
@@ -304,46 +184,24 @@ RunMetrics Engine<Node>::run() {
   rng_.reserve(n);
   for (NodeId i = 0; i < cfg_.n; ++i)
     rng_.emplace_back(derive_seed(cfg_.seed, static_cast<std::uint64_t>(i)));
-  jitter_rng_.clear();
-  if (cfg_.jitter_max > 0) {
-    jitter_rng_.reserve(n);
-    for (NodeId i = 0; i < cfg_.n; ++i)
-      jitter_rng_.emplace_back(derive_seed(
-          cfg_.seed, static_cast<std::uint64_t>(i) + 0x4A17E500000000ULL));
+  net_.reset(cfg_);
+  store_.reset(cfg_.n);
+  gate_.reset(cfg_.n);
+  counts_ = MessageCounts{};
+  calendar_.assign(static_cast<std::size_t>(net_.max_delay()) + 1, {});
+  if (cfg_.rx == RxPolicy::kOnePerStep) {
+    inbox_.assign(n, {});
+    inbox_stamp_.assign(n, -1);
+    inbox_tail_.assign(n, 0);
   }
-  loss_rng_.clear();
-  if (cfg_.drop_prob > 0.0) {
-    CG_CHECK(cfg_.drop_prob < 1.0);
-    loss_rng_.reserve(n);
-    for (NodeId i = 0; i < cfg_.n; ++i)
-      loss_rng_.emplace_back(derive_seed(
-          cfg_.seed, static_cast<std::uint64_t>(i) + 0x10550000000000ULL));
-  }
-
-  alive_.assign(n, true);
-  state_.assign(n, RunState::kIdle);
-  colored_at_.assign(n, kNever);
-  delivered_at_.assign(n, kNever);
-  completed_at_.assign(n, kNever);
-  activated_at_.assign(n, kNever);
-  calendar_.assign(static_cast<std::size_t>(cfg_.logp.delivery_delay() +
-                                            cfg_.jitter_max +
-                                            cfg_.link_extra_max) + 1, {});
-  if (cfg_.rx == RxPolicy::kOnePerStep) inbox_.assign(n, {});
   in_flight_ = 0;
   active_count_ = 0;
   metrics_ = RunMetrics{};
-  metrics_.n_total = cfg_.n;
   step_ = 0;
 
   // Pre-failed nodes.
-  for (const NodeId i : cfg_.failures.pre_failed) {
-    CG_CHECK(i >= 0 && i < cfg_.n);
-    alive_[static_cast<std::size_t>(i)] = false;
-    state_[static_cast<std::size_t>(i)] = RunState::kDone;
-  }
-  CG_CHECK_MSG(alive_[static_cast<std::size_t>(cfg_.root)],
-               "root must be active at start");
+  for (const NodeId i : cfg_.failures.pre_failed) store_.pre_fail(i);
+  CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
 
   // Sort online failures by time for in-order application.
   auto online = cfg_.failures.online;
@@ -355,11 +213,10 @@ RunMetrics Engine<Node>::run() {
 
   // Start: root is active; everyone alive gets on_start.  The root counts
   // as activated at step 0 (colored at 0, first emission at step 1).
-  state_[static_cast<std::size_t>(cfg_.root)] = RunState::kActive;
-  activated_at_[static_cast<std::size_t>(cfg_.root)] = 0;
+  store_.activate(cfg_.root, 0);
   ++active_count_;
   for (NodeId i = 0; i < cfg_.n; ++i) {
-    if (!alive_[static_cast<std::size_t>(i)]) continue;
+    if (!store_.alive(i)) continue;
     Ctx ctx(*this, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
   }
@@ -386,8 +243,24 @@ RunMetrics Engine<Node>::run() {
     if (cfg_.rx == RxPolicy::kDrainAll) {
       for (const auto& d : due) dispatch(d.to, d.msg);
     } else {
-      for (const auto& d : due)
-        inbox_[static_cast<std::size_t>(d.to)].push_back(d.msg);
+      // Append this step's arrivals, then canonically order each inbox's
+      // new tail so all engines defer the same message to the next step.
+      for (const auto& d : due) {
+        const auto idx = static_cast<std::size_t>(d.to);
+        if (inbox_stamp_[idx] != step_) {
+          inbox_stamp_[idx] = step_;
+          inbox_tail_[idx] = inbox_[idx].size();
+        }
+        inbox_[idx].push_back(d.msg);
+      }
+      for (const auto& d : due) {
+        const auto idx = static_cast<std::size_t>(d.to);
+        if (inbox_stamp_[idx] != step_) continue;  // already sorted
+        inbox_stamp_[idx] = -1;
+        auto& box = inbox_[idx];
+        std::sort(box.begin() + static_cast<std::ptrdiff_t>(inbox_tail_[idx]),
+                  box.end(), rx_order_before);
+      }
       for (NodeId i = 0; i < cfg_.n; ++i) {
         auto& box = inbox_[static_cast<std::size_t>(i)];
         if (!box.empty()) {
@@ -402,11 +275,11 @@ RunMetrics Engine<Node>::run() {
     // step 0) may only emit from step c+1 (its receive occupied step c),
     // so its first tick is skipped.
     for (NodeId i = 0; i < cfg_.n; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      if (state_[idx] != RunState::kActive || activated_at_[idx] == step_)
+      if (store_.state(i) != NodeRunState::kActive ||
+          store_.activated_at(i) == step_)
         continue;
       Ctx ctx(*this, i);
-      nodes_[idx].on_tick(ctx);
+      nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
     }
 
     ++step_;
@@ -417,45 +290,8 @@ RunMetrics Engine<Node>::run() {
 
 template <class Node>
 RunMetrics Engine<Node>::finalize() {
-  metrics_.t_end = step_;
-  Step last_colored = 0, last_delivered = 0, last_complete = 0;
-  bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
-  for (NodeId i = 0; i < cfg_.n; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (!alive_[idx]) continue;
-    ++metrics_.n_active;
-    if (colored_at_[idx] != kNever) {
-      ++metrics_.n_colored;
-      last_colored = std::max(last_colored, colored_at_[idx]);
-      if (completed_at_[idx] != kNever)
-        last_complete = std::max(last_complete, completed_at_[idx]);
-      else
-        any_incomplete = true;
-    } else {
-      any_uncolored = true;
-    }
-    if (delivered_at_[idx] != kNever) {
-      ++metrics_.n_delivered;
-      last_delivered = std::max(last_delivered, delivered_at_[idx]);
-    } else {
-      any_undelivered = true;
-    }
-  }
-  metrics_.all_active_colored = !any_uncolored;
-  metrics_.all_active_delivered = !any_undelivered;
-  metrics_.t_last_colored = any_uncolored ? kNever : last_colored;
-  metrics_.t_last_colored_partial = last_colored;
-  metrics_.t_last_delivered = any_undelivered ? kNever : last_delivered;
-  // Completion is over COLORED nodes: a weakly consistent protocol (GOS/OCG)
-  // legitimately finishes while some nodes were never reached.
-  metrics_.t_complete = any_incomplete ? kNever : last_complete;
-  metrics_.sos_triggered = metrics_.msgs_sos > 0;
-  metrics_.t_root_complete = completed_at_[static_cast<std::size_t>(cfg_.root)];
-  if (cfg_.record_node_detail) {
-    metrics_.colored_at = colored_at_;
-    metrics_.delivered_at = delivered_at_;
-    metrics_.completed_at = completed_at_;
-  }
+  counts_.merge_into(metrics_);
+  store_.finalize(metrics_, cfg_.root, step_, cfg_.record_node_detail);
   return metrics_;
 }
 

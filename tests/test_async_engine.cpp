@@ -8,6 +8,7 @@
 #include "gossip/gos.hpp"
 #include "gossip/ocg.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
 #include "sim/topology.hpp"
 
 namespace cg {
