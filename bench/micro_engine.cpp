@@ -127,6 +127,61 @@ BENCHMARK(BM_EngineParallel)
     ->Args({4096, 4})
     ->Args({4096, 8});
 
+// Self-profiling probes: the serial workload with an EngineProfile attached
+// (RunConfig::profile).  Reports the engine's own callbacks/sec counter so
+// BENCH_engine.json can track event throughput, and lets an A/B against
+// BM_EngineSerial measure the cost of profiling itself.
+void BM_EngineSerialProfiled(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  std::int64_t events = 0;
+  double wall = 0;
+  for (auto _ : state) {
+    EngineProfile prof;
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    cfg.profile = &prof;
+    CcgNode::Params p;
+    p.T = 30;
+    Engine<CcgNode> eng(cfg, p);
+    benchmark::DoNotOptimize(eng.run());
+    events += prof.events();
+    wall += prof.wall_s;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["engine_events_per_sec"] =
+      wall > 0 ? static_cast<double>(events) / wall : 0;
+}
+BENCHMARK(BM_EngineSerialProfiled)->Arg(4096);
+
+void BM_EngineParallelProfiled(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  std::uint64_t seed = 1;
+  std::int64_t events = 0;
+  double wall = 0;
+  for (auto _ : state) {
+    EngineProfile prof;
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    cfg.profile = &prof;
+    CcgNode::Params p;
+    p.T = 30;
+    ParallelEngine<CcgNode> eng(cfg, p, threads);
+    benchmark::DoNotOptimize(eng.run());
+    events += prof.events();
+    wall += prof.wall_s;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["engine_events_per_sec"] =
+      wall > 0 ? static_cast<double>(events) / wall : 0;
+}
+BENCHMARK(BM_EngineParallelProfiled)->Args({4096, 4});
+
 void BM_ExpectedColored(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(

@@ -10,12 +10,45 @@
 //           [--rx=drain|one] [--threads=1] [--drain-extra=0] [--csv]
 //
 // Omitted --t/--corr are tuned from the analytic models at --eps.
+//
+// Observability outputs (each replays trial #0 with instrumentation):
+//   --trace-out=<file>    event trace; *.jsonl gets one JSON object per
+//                         event, anything else gets Chrome trace-event JSON
+//                         (open in https://ui.perfetto.dev)
+//   --series-out=<file>   per-step time series; *.csv or JSON by extension
+//   --report-json=<file>  machine-readable report: config, aggregate with
+//                         percentiles, trial-0 metrics / engine profile /
+//                         drift vs the analytic c(t)
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "analysis/coloring.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "harness/scenarios.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/series.hpp"
+#include "obs/trace_sinks.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool is_gossip_family(cg::Algo a) {
+  return a == cg::Algo::kGos || a == cg::Algo::kOcg || a == cg::Algo::kCcg ||
+         a == cg::Algo::kFcg || a == cg::Algo::kOcgChain;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cg;
@@ -76,18 +109,79 @@ int main(int argc, char** argv) {
 
   const TrialAggregate agg = run_trials(spec);
 
+  // Observability replay: re-run trial #0 (exact same seed and failure
+  // schedule) with trace sinks and an engine profile attached.
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string series_out = flags.get_string("series-out", "");
+  const std::string report_out = flags.get_string("report-json", "");
+  const bool observe =
+      !trace_out.empty() || !series_out.empty() || !report_out.empty();
+
+  RunMetrics trial0;
+  EngineProfile profile;
+  obs::StepSeries series;
+  obs::DriftReport drift;
+  bool have_drift = false;
+  bool trace_ok = true;
+  if (observe) {
+    obs::TeeTraceSink tee;
+    tee.add(&series);
+    std::unique_ptr<obs::JsonlTraceSink> jsonl;
+    std::unique_ptr<obs::ChromeTraceSink> chrome;
+    if (!trace_out.empty()) {
+      if (trace_out.ends_with(".jsonl")) {
+        jsonl = std::make_unique<obs::JsonlTraceSink>(trace_out);
+        trace_ok = jsonl->ok();
+        tee.add(jsonl.get());
+      } else {
+        chrome = std::make_unique<obs::ChromeTraceSink>(trace_out, logp.o_us);
+        tee.add(chrome.get());
+      }
+    }
+    RunConfig rcfg = trial_run_config(spec, 0);
+    rcfg.trace = &tee;
+    rcfg.profile = &profile;
+    trial0 = run_once(algo, spec.acfg, rcfg);
+    if (chrome) trace_ok = chrome->close();
+
+    if (is_gossip_family(algo) && series.steps() > 0) {
+      // Compare against the analytic c(t) over the gossip window only: the
+      // recurrence models gossip coloring, and for the corrected variants
+      // the tail of the curve is correction work it does not describe.
+      Step t_cmp = series.steps() - 1;
+      if (algo != Algo::kGos)
+        t_cmp = std::min(t_cmp, spec.acfg.T + logp.delivery_delay());
+      const auto model =
+          expected_colored(n, trial0.n_active, spec.acfg.T, logp, t_cmp);
+      drift = obs::compare_to_model(series.colored_cumulative(), model,
+                                    trial0.n_active);
+      have_drift = true;
+    }
+  }
+
   Table table({"metric", "value"});
   const double lat = reported_latency_steps(algo, agg);
   table.add_row({"latency (mean, us)", Table::cell("%.2f", logp.us(1) * lat)});
   if (!agg.t_complete.empty()) {
+    table.add_row({"latency p50 (us)",
+                   Table::cell("%.2f", logp.us(1) * agg.t_complete.p50())});
+    table.add_row({"latency p90 (us)",
+                   Table::cell("%.2f", logp.us(1) * agg.t_complete.p90())});
     table.add_row({"latency p99 (us)",
                    Table::cell("%.2f", logp.us(1) * agg.t_complete.quantile(0.99))});
     table.add_row({"latency max (us)",
                    Table::cell("%.2f", logp.us(1) * agg.t_complete.max())});
   }
+  if (!agg.t_last_colored_partial.empty())
+    table.add_row(
+        {"last coloring, reached nodes (mean, us)",
+         Table::cell("%.2f", logp.us(1) * agg.t_last_colored_partial.mean())});
   table.add_row({"predicted (us)",
                  Table::cell("%.1f", logp.us(tuned.predicted_latency_steps))});
   table.add_row({"work (mean msgs)", Table::cell("%.1f", agg.work.mean())});
+  table.add_row({"work p50/p90/p99 (msgs)",
+                 Table::cell("%.0f / %.0f / %.0f", agg.work.p50(),
+                             agg.work.p90(), agg.work.p99())});
   table.add_row({"  gossip part", Table::cell("%.1f", agg.work_gossip.mean())});
   table.add_row({"  correction part",
                  Table::cell("%.1f", agg.work_correction.mean())});
@@ -109,5 +203,82 @@ int main(int argc, char** argv) {
     std::fputs(table.csv().c_str(), stdout);
   else
     table.print();
-  return 0;
+
+  int rc = 0;
+  if (observe) {
+    if (!trace_out.empty()) {
+      if (trace_ok) {
+        std::printf("trace (trial 0): %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "cgsim: cannot write %s\n", trace_out.c_str());
+        rc = 1;
+      }
+    }
+    if (!series_out.empty()) {
+      const std::string body = series_out.ends_with(".csv") ? series.to_csv()
+                                                            : series.to_json();
+      if (write_file(series_out, body)) {
+        std::printf("series (trial 0, %lld steps): %s\n",
+                    static_cast<long long>(series.steps()), series_out.c_str());
+      } else {
+        std::fprintf(stderr, "cgsim: cannot write %s\n", series_out.c_str());
+        rc = 1;
+      }
+    }
+    if (have_drift)
+      std::printf("coloring drift vs analytic c(t) over %lld steps: "
+                  "max %.1f nodes (%.2f%% of active, at t=%lld), mean %.2f\n",
+                  static_cast<long long>(drift.compared_steps), drift.max_abs,
+                  100.0 * drift.max_frac,
+                  static_cast<long long>(drift.max_abs_at), drift.mean_abs);
+    if (!report_out.empty()) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("config");
+      w.begin_object();
+      w.kv("algo", algo_name(algo));
+      w.kv("n", static_cast<std::int64_t>(n));
+      w.kv("l_us", logp.l_us());
+      w.kv("o_us", logp.o_us);
+      w.kv("T", static_cast<std::int64_t>(spec.acfg.T));
+      w.kv("corr", static_cast<std::int64_t>(spec.acfg.ocg_corr_sends));
+      w.kv("f", static_cast<std::int64_t>(spec.acfg.fcg_f));
+      w.kv("trials", static_cast<std::int64_t>(spec.trials));
+      w.kv("seed", static_cast<std::int64_t>(spec.seed));
+      w.kv("jitter_max", static_cast<std::int64_t>(spec.jitter_max));
+      w.kv("drop_prob", spec.drop_prob);
+      w.kv("pre_failures", static_cast<std::int64_t>(spec.pre_failures));
+      w.kv("online_failures",
+           static_cast<std::int64_t>(spec.online_failures));
+      w.kv("eps", eps);
+      w.end_object();
+      w.key("aggregate");
+      obs::write_json(w, agg);
+      w.key("trial0");
+      w.begin_object();
+      w.key("metrics");
+      obs::write_json(w, trial0);
+      w.key("engine_profile");
+      obs::write_json(w, profile);
+      w.key("drift");
+      w.begin_object();
+      if (have_drift) {
+        w.kv("compared_steps", static_cast<std::int64_t>(drift.compared_steps));
+        w.kv("max_abs", drift.max_abs);
+        w.kv("max_abs_at", static_cast<std::int64_t>(drift.max_abs_at));
+        w.kv("max_frac", drift.max_frac);
+        w.kv("mean_abs", drift.mean_abs);
+      }
+      w.end_object();
+      w.end_object();
+      w.end_object();
+      if (write_file(report_out, w.str() + "\n")) {
+        std::printf("report: %s\n", report_out.c_str());
+      } else {
+        std::fprintf(stderr, "cgsim: cannot write %s\n", report_out.c_str());
+        rc = 1;
+      }
+    }
+  }
+  return rc;
 }

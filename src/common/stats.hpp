@@ -83,6 +83,11 @@ class Samples {
   double min() const { CG_CHECK(!data_.empty()); sort_once(); return data_.front(); }
   double max() const { CG_CHECK(!data_.empty()); sort_once(); return data_.back(); }
 
+  // The percentiles every summary report uses (nearest-rank).
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
   double mean() const {
     CG_CHECK(!data_.empty());
     double s = 0;
@@ -122,6 +127,44 @@ class Samples {
 
   mutable std::vector<double> data_;
   mutable bool sorted_ = false;
+};
+
+/// RunningStat plus retained samples: streaming mean/stddev/CI AND exact
+/// nearest-rank percentiles from one add() stream.  The aggregation type
+/// behind TrialAggregate summaries (p50/p90/p99 in reports); costs one
+/// double of memory per sample, which is fine at Monte-Carlo trial counts.
+class SummaryStat {
+ public:
+  void add(double x) {
+    stream_.add(x);
+    samples_.add(x);
+  }
+
+  void merge(const SummaryStat& o) {
+    stream_.merge(o.stream_);
+    samples_.merge(o.samples_);
+  }
+
+  std::size_t count() const { return stream_.count(); }
+  bool empty() const { return stream_.count() == 0; }
+  double mean() const { return stream_.mean(); }
+  double variance() const { return stream_.variance(); }
+  double stddev() const { return stream_.stddev(); }
+  double min() const { return stream_.min(); }
+  double max() const { return stream_.max(); }
+  double sum() const { return stream_.sum(); }
+  double ci95_halfwidth() const { return stream_.ci95_halfwidth(); }
+
+  double quantile(double q) const { return samples_.quantile(q); }
+  double p50() const { return samples_.p50(); }
+  double p90() const { return samples_.p90(); }
+  double p99() const { return samples_.p99(); }
+
+  const Samples& samples() const { return samples_; }
+
+ private:
+  RunningStat stream_;
+  Samples samples_;
 };
 
 }  // namespace cg

@@ -13,6 +13,8 @@ void TrialAggregate::absorb(const RunMetrics& m) {
   ++trials;
   if (m.t_last_colored != kNever)
     t_last_colored.add(static_cast<double>(m.t_last_colored));
+  if (m.t_last_colored_partial != kNever)
+    t_last_colored_partial.add(static_cast<double>(m.t_last_colored_partial));
   if (m.t_complete != kNever)
     t_complete.add(static_cast<double>(m.t_complete));
   if (m.t_root_complete != kNever)
@@ -32,6 +34,7 @@ void TrialAggregate::absorb(const RunMetrics& m) {
 void TrialAggregate::merge(const TrialAggregate& o) {
   trials += o.trials;
   t_last_colored.merge(o.t_last_colored);
+  t_last_colored_partial.merge(o.t_last_colored_partial);
   t_complete.merge(o.t_complete);
   t_root_complete.merge(o.t_root_complete);
   work.merge(o.work);
@@ -46,9 +49,7 @@ void TrialAggregate::merge(const TrialAggregate& o) {
   bfb_restarts_total += o.bfb_restarts_total;
 }
 
-namespace {
-
-RunMetrics one_trial(const TrialSpec& spec, int trial) {
+RunConfig trial_run_config(const TrialSpec& spec, int trial) {
   RunConfig rcfg;
   rcfg.n = spec.n;
   rcfg.root = spec.root;
@@ -68,7 +69,13 @@ RunMetrics one_trial(const TrialSpec& spec, int trial) {
         spec.n, spec.pre_failures, spec.online_failures, horizon, frng,
         spec.root, spec.root_can_fail);
   }
-  return run_once(spec.algo, spec.acfg, rcfg);
+  return rcfg;
+}
+
+namespace {
+
+RunMetrics one_trial(const TrialSpec& spec, int trial) {
+  return run_once(spec.algo, spec.acfg, trial_run_config(spec, trial));
 }
 
 }  // namespace

@@ -37,13 +37,15 @@ struct TrialAggregate {
 
   // Timing distributions, in steps (convert with LogP::us).
   Samples t_last_colored;   ///< only trials where all active nodes colored
+  Samples t_last_colored_partial;  ///< last coloring among reached nodes
+                                   ///< (trials where at least one colored)
   Samples t_complete;       ///< only trials where all colored nodes exited
   Samples t_root_complete;  ///< only trials where the root completed
 
-  RunningStat work;             ///< msgs_total per trial
-  RunningStat work_gossip;
-  RunningStat work_correction;
-  RunningStat inconsistency;    ///< share of active nodes not reached
+  SummaryStat work;             ///< msgs_total per trial
+  SummaryStat work_gossip;
+  SummaryStat work_correction;
+  SummaryStat inconsistency;    ///< share of active nodes not reached
 
   std::int64_t all_colored_trials = 0;
   std::int64_t all_delivered_trials = 0;
@@ -62,6 +64,11 @@ struct TrialAggregate {
                              static_cast<double>(trials);
   }
 };
+
+/// The exact RunConfig trial #`trial` of `spec` executes with (seed and
+/// failure schedule included).  Lets callers replay a single trial with
+/// extra instrumentation (trace sinks, profiles) attached.
+RunConfig trial_run_config(const TrialSpec& spec, int trial);
 
 /// Run `spec.trials` independent trials (seeded from spec.seed).
 TrialAggregate run_trials(const TrialSpec& spec);

@@ -1,0 +1,139 @@
+// Minimal streaming JSON writer for the observability layer (trace sinks,
+// series dumps, run reports).  No DOM, no allocation beyond the output
+// string; comma placement is tracked with a small container stack, so the
+// caller composes begin_object()/key()/value() calls freely and always gets
+// syntactically valid JSON.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cg::obs {
+
+/// Escape a string for inclusion inside JSON quotes (appends to `out`).
+inline void json_escape(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+class JsonWriter {
+ public:
+  const std::string& str() const {
+    CG_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+    return out_;
+  }
+
+  void begin_object() {
+    sep();
+    out_ += '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    pop();
+    out_ += '}';
+  }
+  void begin_array() {
+    sep();
+    out_ += '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    pop();
+    out_ += ']';
+  }
+
+  /// Object member key; must be followed by exactly one value/container.
+  void key(std::string_view k) {
+    sep();
+    out_ += '"';
+    json_escape(k, out_);
+    out_ += "\":";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    sep();
+    out_ += '"';
+    json_escape(s, out_);
+    out_ += '"';
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d) {
+    sep();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out_ += buf;
+  }
+  void value(std::int64_t v) {
+    sep();
+    out_ += std::to_string(v);
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool b) {
+    sep();
+    out_ += b ? "true" : "false";
+  }
+  void null() {
+    sep();
+    out_ += "null";
+  }
+
+  // Shorthands for object members.
+  template <class T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+  void kv_null(std::string_view k) {
+    key(k);
+    null();
+  }
+
+ private:
+  // Emit the separating comma unless this is a container's first element or
+  // the value immediately following a key.
+  void sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  void pop() {
+    CG_CHECK_MSG(!stack_.empty(), "JSON container underflow");
+    CG_CHECK_MSG(!pending_value_, "JSON key without a value");
+    stack_.pop_back();
+    if (!stack_.empty()) stack_.back() = true;
+  }
+
+  std::string out_;
+  std::vector<char> stack_;  // one flag per open container: "has elements"
+  bool pending_value_ = false;
+};
+
+}  // namespace cg::obs

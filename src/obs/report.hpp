@@ -1,0 +1,26 @@
+// Machine-readable run reports: JSON serialization of RunMetrics,
+// TrialAggregate and EngineProfile, so external tooling consumes simulation
+// results without scraping tables.  Step fields use `null` for kNever.
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "sim/core/profile.hpp"
+#include "sim/metrics.hpp"
+
+namespace cg::obs {
+
+class JsonWriter;
+
+std::string to_json(const RunMetrics& m);
+std::string to_json(const TrialAggregate& agg);
+std::string to_json(const EngineProfile& prof);
+
+// Streaming variants for embedding into a larger document (cgsim's
+// --report-json wraps the aggregate with the run configuration).
+void write_json(JsonWriter& w, const RunMetrics& m);
+void write_json(JsonWriter& w, const TrialAggregate& agg);
+void write_json(JsonWriter& w, const EngineProfile& prof);
+
+}  // namespace cg::obs

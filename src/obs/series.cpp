@@ -1,0 +1,179 @@
+#include "obs/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/coloring.hpp"
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace cg::obs {
+
+void StepSeries::ensure_step(Step s) {
+  CG_CHECK(s >= 0);
+  const auto need = static_cast<std::size_t>(s) + 1;
+  if (newly_colored_.size() >= need) return;
+  newly_colored_.resize(need, 0);
+  sends_total_.resize(need, 0);
+  for (auto& v : sends_by_phase_) v.resize(need, 0);
+  delivers_.resize(need, 0);
+  new_ring_senders_.resize(need, 0);
+}
+
+void StepSeries::on_event(const TraceEvent& ev) {
+  ensure_step(ev.step);
+  const auto s = static_cast<std::size_t>(ev.step);
+  switch (ev.kind) {
+    case TraceEvent::Kind::kSend: {
+      ++sends_total_[s];
+      ++sends_by_phase_[static_cast<int>(phase_of(ev.tag))][s];
+      if (is_ring_corr(ev.tag) || ev.tag == Tag::kOcgCorr) {
+        const auto node = static_cast<std::size_t>(ev.node);
+        if (ring_seen_.size() <= node) ring_seen_.resize(node + 1, 0);
+        if (ring_seen_[node] == 0) {
+          ring_seen_[node] = 1;
+          ++new_ring_senders_[s];
+        }
+      }
+      break;
+    }
+    case TraceEvent::Kind::kDeliver: ++delivers_[s]; break;
+    case TraceEvent::Kind::kColored: ++newly_colored_[s]; break;
+    default: break;  // delivered/complete/fail don't feed a series
+  }
+}
+
+namespace {
+
+std::vector<std::int64_t> cumulative(const std::vector<std::int64_t>& per_step) {
+  std::vector<std::int64_t> out(per_step.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < per_step.size(); ++i) {
+    acc += per_step[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> StepSeries::colored_cumulative() const {
+  return cumulative(newly_colored_);
+}
+
+std::vector<std::int64_t> StepSeries::ring_watermark() const {
+  return cumulative(new_ring_senders_);
+}
+
+std::vector<std::int64_t> StepSeries::in_flight() const {
+  std::vector<std::int64_t> out(sends_total_.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < sends_total_.size(); ++i) {
+    acc += sends_total_[i] - delivers_[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::string StepSeries::to_csv() const {
+  std::string out =
+      "step,colored,newly_colored,sends,sends_gossip,sends_correction,"
+      "sends_sos,sends_tree,delivers,in_flight,ring_watermark\n";
+  const auto colored = colored_cumulative();
+  const auto flight = in_flight();
+  const auto ring = ring_watermark();
+  char buf[256];
+  for (std::size_t s = 0; s < newly_colored_.size(); ++s) {
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+        static_cast<long long>(s), static_cast<long long>(colored[s]),
+        static_cast<long long>(newly_colored_[s]),
+        static_cast<long long>(sends_total_[s]),
+        static_cast<long long>(sends_by_phase_[0][s]),
+        static_cast<long long>(sends_by_phase_[1][s]),
+        static_cast<long long>(sends_by_phase_[2][s]),
+        static_cast<long long>(sends_by_phase_[3][s]),
+        static_cast<long long>(delivers_[s]),
+        static_cast<long long>(flight[s]), static_cast<long long>(ring[s]));
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+namespace {
+
+void write_series(JsonWriter& w, std::string_view key,
+                  const std::vector<std::int64_t>& v) {
+  w.key(key);
+  w.begin_array();
+  for (const auto x : v) w.value(x);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string StepSeries::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("steps", static_cast<std::int64_t>(steps()));
+  write_series(w, "colored", colored_cumulative());
+  write_series(w, "newly_colored", newly_colored_);
+  w.key("sends");
+  w.begin_object();
+  write_series(w, "total", sends_total_);
+  for (int p = 0; p < kPhaseCount; ++p)
+    write_series(w, phase_name(static_cast<Phase>(p)), sends_by_phase_[p]);
+  w.end_object();
+  write_series(w, "delivers", delivers_);
+  write_series(w, "in_flight", in_flight());
+  write_series(w, "ring_watermark", ring_watermark());
+  w.end_object();
+  return w.str();
+}
+
+DriftReport compare_to_model(const std::vector<std::int64_t>& observed,
+                             const std::vector<double>& model,
+                             NodeId n_active) {
+  CG_CHECK(n_active >= 1);
+  DriftReport r;
+  r.compared_steps = static_cast<Step>(std::min(observed.size(), model.size()));
+  if (r.compared_steps == 0) return r;
+  double sum_abs = 0;
+  for (Step s = 0; s < r.compared_steps; ++s) {
+    const double d = std::abs(
+        static_cast<double>(observed[static_cast<std::size_t>(s)]) -
+        model[static_cast<std::size_t>(s)]);
+    sum_abs += d;
+    if (d > r.max_abs) {
+      r.max_abs = d;
+      r.max_abs_at = s;
+    }
+  }
+  r.max_frac = r.max_abs / static_cast<double>(n_active);
+  r.mean_abs = sum_abs / static_cast<double>(r.compared_steps);
+  return r;
+}
+
+DriftReport compare_to_model(const StepSeries& series, NodeId N,
+                             NodeId n_active, Step T, const LogP& logp) {
+  const auto observed = series.colored_cumulative();
+  const Step t_max = series.steps() > 0 ? series.steps() - 1 : 0;
+  const auto model = expected_colored(N, n_active, T, logp, t_max);
+  return compare_to_model(observed, model, n_active);
+}
+
+std::string to_json(const DriftReport& drift) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("compared_steps", static_cast<std::int64_t>(drift.compared_steps));
+  w.kv("max_abs", drift.max_abs);
+  w.kv("max_abs_at", static_cast<std::int64_t>(drift.max_abs_at));
+  w.kv("max_frac", drift.max_frac);
+  w.kv("mean_abs", drift.mean_abs);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cg::obs

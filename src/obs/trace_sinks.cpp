@@ -1,0 +1,241 @@
+#include "obs/trace_sinks.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <tuple>
+
+#include "obs/json.hpp"
+
+namespace cg::obs {
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+std::string to_jsonl(const TraceEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("step", static_cast<std::int64_t>(ev.step));
+  w.kv("kind", trace_kind_name(ev.kind));
+  w.kv("node", static_cast<std::int64_t>(ev.node));
+  w.kv("peer", static_cast<std::int64_t>(ev.peer));
+  w.kv("tag", tag_name(ev.tag));
+  w.end_object();
+  return w.str();
+}
+
+std::string to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const auto& ev : events) {
+    out += to_jsonl(ev);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Find `"key":` in `line` and return a view of the raw value token
+// (number, or quoted-string content without the quotes).  Empty optional
+// on absence / malformed value.
+bool value_token(std::string_view line, std::string_view key,
+                 std::string_view& out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  std::string_view rest = line.substr(pos + needle.size());
+  if (rest.empty()) return false;
+  if (rest.front() == '"') {
+    rest.remove_prefix(1);
+    const auto end = rest.find('"');
+    if (end == std::string_view::npos) return false;
+    out = rest.substr(0, end);
+    return true;
+  }
+  std::size_t end = 0;
+  while (end < rest.size() &&
+         (rest[end] == '-' || (rest[end] >= '0' && rest[end] <= '9')))
+    ++end;
+  if (end == 0) return false;
+  out = rest.substr(0, end);
+  return true;
+}
+
+template <class Int>
+bool parse_int(std::string_view tok, Int& out) {
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return res.ec == std::errc{} && res.ptr == tok.data() + tok.size();
+}
+
+}  // namespace
+
+bool from_jsonl(std::string_view line, TraceEvent& out) {
+  std::string_view step_tok, kind_tok, node_tok, peer_tok, tag_tok;
+  if (!value_token(line, "step", step_tok) ||
+      !value_token(line, "kind", kind_tok) ||
+      !value_token(line, "node", node_tok) ||
+      !value_token(line, "peer", peer_tok) ||
+      !value_token(line, "tag", tag_tok))
+    return false;
+  TraceEvent ev;
+  if (!parse_int(step_tok, ev.step) || !parse_int(node_tok, ev.node) ||
+      !parse_int(peer_tok, ev.peer))
+    return false;
+  if (!trace_kind_from_name(kind_tok, ev.kind)) return false;
+  if (!tag_from_name(tag_tok, ev.tag)) return false;
+  out = ev;
+  return true;
+}
+
+void canonical_sort(std::vector<TraceEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tuple(a.step, static_cast<int>(a.kind), a.node,
+                                a.peer, static_cast<int>(a.tag)) <
+                     std::tuple(b.step, static_cast<int>(b.kind), b.node,
+                                b.peer, static_cast<int>(b.tag));
+            });
+}
+
+// ---------------------------------------------------------------------------
+// JsonlTraceSink
+// ---------------------------------------------------------------------------
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : f_(std::fopen(path.c_str(), "w")) {}
+
+JsonlTraceSink::~JsonlTraceSink() { close(); }
+
+void JsonlTraceSink::on_event(const TraceEvent& ev) {
+  if (f_ == nullptr) return;
+  const std::string line = to_jsonl(ev);
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fputc('\n', f_);
+}
+
+void JsonlTraceSink::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// chrome://tracing reserved color names per phase (Perfetto accepts and
+// ignores unknown cnames, so this degrades gracefully there).
+const char* phase_cname(Phase p) {
+  switch (p) {
+    case Phase::kGossip: return "good";
+    case Phase::kCorrection: return "bad";
+    case Phase::kSos: return "terrible";
+    case Phase::kTree: return "generic_work";
+  }
+  return "generic_work";
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path, double us_per_step)
+    : path_(path), us_per_step_(us_per_step) {}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+bool ChromeTraceSink::close() {
+  if (closed_) return true;
+  closed_ = true;
+  canonical_sort(events_);
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("generator", "corrected-gossip ChromeTraceSink");
+  w.kv("us_per_step", us_per_step_);
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Track metadata: name each node's track and keep ring order top-down.
+  NodeId max_node = -1;
+  for (const auto& ev : events_) max_node = std::max(max_node, ev.node);
+  for (NodeId i = 0; i <= max_node; ++i) {
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("name", "thread_name");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(i));
+    w.key("args");
+    w.begin_object();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "node %d", i);
+    w.kv("name", buf);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("name", "thread_sort_index");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(i));
+    w.key("args");
+    w.begin_object();
+    w.kv("sort_index", static_cast<std::int64_t>(i));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& ev : events_) {
+    const double ts = static_cast<double>(ev.step) * us_per_step_;
+    w.begin_object();
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(ev.node));
+    w.kv("ts", ts);
+    switch (ev.kind) {
+      case TraceEvent::Kind::kSend:
+      case TraceEvent::Kind::kDeliver: {
+        const Phase phase = phase_of(ev.tag);
+        std::string name = ev.kind == TraceEvent::Kind::kSend ? "send " : "recv ";
+        name += tag_name(ev.tag);
+        w.kv("ph", "X");  // complete event: one slice of one step (= O)
+        w.kv("dur", us_per_step_);
+        w.kv("name", name);
+        w.kv("cat", phase_name(phase));
+        w.kv("cname", phase_cname(phase));
+        w.key("args");
+        w.begin_object();
+        w.kv(ev.kind == TraceEvent::Kind::kSend ? "to" : "from",
+             static_cast<std::int64_t>(ev.peer));
+        w.end_object();
+        break;
+      }
+      default: {
+        w.kv("ph", "i");  // instant event
+        w.kv("s", "t");
+        w.kv("name", trace_kind_name(ev.kind));
+        w.kv("cat", "lifecycle");
+        if (ev.kind == TraceEvent::Kind::kFail) w.kv("cname", "terrible");
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  events_.clear();
+  events_.shrink_to_fit();
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string& json = w.str();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace cg::obs

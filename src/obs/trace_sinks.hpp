@@ -1,0 +1,163 @@
+// Structured trace sinks: the observability layer's export side of the
+// engines' TraceSink hook (RunConfig::trace).
+//
+// All sinks here work with every execution engine: the stepped and async
+// engines call on_event() inline, and the parallel engine merges per-worker
+// buffers at the step barrier (single-threaded), so no sink needs locking.
+//
+//   JsonlTraceSink    - one JSON object per line; lossless (from_jsonl()
+//                       parses back the exact event), greppable, streamable.
+//   ChromeTraceSink   - Chrome trace-event JSON ("chrome://tracing" /
+//                       https://ui.perfetto.dev): one track per node,
+//                       phase-colored slices for gossip / correction / SOS.
+//   CountingTraceSink - O(1)-memory per-kind and per-tag counters for
+//                       always-on accounting.
+//   TeeTraceSink      - fan one engine trace out to several sinks.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "sim/trace.hpp"
+
+namespace cg::obs {
+
+/// Message phase a Tag belongs to (the paper's work taxonomy, matching
+/// MessageCounts): gossip, ring correction, SOS flood, baseline tree.
+enum class Phase : std::uint8_t { kGossip = 0, kCorrection, kSos, kTree };
+inline constexpr int kPhaseCount = 4;
+
+constexpr Phase phase_of(Tag t) {
+  switch (t) {
+    case Tag::kGossip:
+    case Tag::kPullReq: return Phase::kGossip;
+    case Tag::kOcgCorr:
+    case Tag::kFwd:
+    case Tag::kBwd: return Phase::kCorrection;
+    case Tag::kSos: return Phase::kSos;
+    case Tag::kTree:
+    case Tag::kNack:
+    case Tag::kAck: return Phase::kTree;
+  }
+  return Phase::kGossip;
+}
+
+constexpr const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kGossip: return "gossip";
+    case Phase::kCorrection: return "correction";
+    case Phase::kSos: return "sos";
+    case Phase::kTree: return "tree";
+  }
+  return "?";
+}
+
+/// Serialize one event as a single JSONL line (no trailing newline).
+std::string to_jsonl(const TraceEvent& ev);
+
+/// Serialize a whole trace, one event per line, trailing newline per line.
+std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+/// Parse a line produced by to_jsonl(); returns false on malformed input.
+bool from_jsonl(std::string_view line, TraceEvent& out);
+
+/// Canonical event order: by step, then kind, node, peer, tag.  Engines
+/// agree on the event MULTISET per step but not on intra-step emission
+/// order (worker interleaving, heap order), so byte-stable trace comparison
+/// and deterministic file output sort with this first.
+void canonical_sort(std::vector<TraceEvent>& events);
+
+/// Writes one JSONL line per event to a file, streaming (nothing retained).
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  void on_event(const TraceEvent& ev) override;
+  /// Flush and close early (also done by the destructor).
+  void close();
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+/// Buffers the run's events and writes Chrome trace-event JSON on close().
+///
+/// Layout: one thread ("track") per node under a single process; sends and
+/// deliveries are duration slices of one step (the LogP overhead O) colored
+/// by phase; colorings / deliveries / completions / crashes are instant
+/// events.  `us_per_step` scales simulated steps to trace microseconds
+/// (pass LogP::o_us to get real simulated time).
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::string& path, double us_per_step = 1.0);
+  ~ChromeTraceSink() override;
+  ChromeTraceSink(const ChromeTraceSink&) = delete;
+  ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
+
+  void on_event(const TraceEvent& ev) override { events_.push_back(ev); }
+  /// Sort canonically, write the JSON file, release the buffer.  Returns
+  /// false if the file could not be written.  Idempotent.
+  bool close();
+
+ private:
+  std::string path_;
+  double us_per_step_;
+  std::vector<TraceEvent> events_;
+  bool closed_ = false;
+};
+
+/// O(1)-memory counters: events by kind, sends by tag and by phase.
+class CountingTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& ev) override {
+    ++total_;
+    ++by_kind_[static_cast<int>(ev.kind)];
+    if (ev.kind == TraceEvent::Kind::kSend) {
+      ++sends_by_tag_[static_cast<int>(ev.tag)];
+      ++sends_by_phase_[static_cast<int>(phase_of(ev.tag))];
+    }
+  }
+
+  std::int64_t total() const { return total_; }
+  std::int64_t count(TraceEvent::Kind k) const {
+    return by_kind_[static_cast<int>(k)];
+  }
+  std::int64_t sends(Tag t) const {
+    return sends_by_tag_[static_cast<int>(t)];
+  }
+  std::int64_t sends(Phase p) const {
+    return sends_by_phase_[static_cast<int>(p)];
+  }
+
+  void clear() { *this = CountingTraceSink{}; }
+
+ private:
+  std::int64_t total_ = 0;
+  std::int64_t by_kind_[kTraceKindCount] = {};
+  std::int64_t sends_by_tag_[kTagCount] = {};
+  std::int64_t sends_by_phase_[kPhaseCount] = {};
+};
+
+/// Forwards every event to each registered sink (none owned).
+class TeeTraceSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void on_event(const TraceEvent& ev) override {
+    for (TraceSink* s : sinks_) s->on_event(ev);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace cg::obs

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <span>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "common/ring.hpp"
@@ -31,6 +32,9 @@ enum class Tag : std::uint8_t {
   kPullReq,     ///< push-pull gossip: payload request from an uncolored node
 };
 
+/// Number of Tag values (for per-tag counter arrays).
+inline constexpr int kTagCount = 9;
+
 constexpr const char* tag_name(Tag t) {
   switch (t) {
     case Tag::kGossip: return "gossip";
@@ -44,6 +48,18 @@ constexpr const char* tag_name(Tag t) {
     case Tag::kPullReq: return "pull-req";
   }
   return "?";
+}
+
+/// Inverse of tag_name; returns false for unknown names.
+constexpr bool tag_from_name(std::string_view name, Tag& out) {
+  for (int t = 0; t < kTagCount; ++t) {
+    const auto tag = static_cast<Tag>(t);
+    if (name == tag_name(tag)) {
+      out = tag;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// True for CCG/FCG ring-correction tags.

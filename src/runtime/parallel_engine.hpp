@@ -36,6 +36,7 @@
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
+#include "sim/core/profile.hpp"
 #include "sim/core/run_config.hpp"
 #include "sim/core/send_gate.hpp"
 #include "sim/metrics.hpp"
@@ -102,6 +103,12 @@ class ParallelEngine {
     std::int64_t delivered = 0;        // messages consumed this step
     MessageCounts counts;              // merged into metrics at the end
     std::vector<TraceEvent> trace;     // merged in worker order per step
+    // Self-profiling (RunConfig::profile): per-worker callback counts and
+    // compute time per phase (barrier waits excluded), folded at the end.
+    std::int64_t prof_receive = 0;
+    std::int64_t prof_tick = 0;
+    double prof_phase_a_s = 0;
+    double prof_phase_b_s = 0;
     char pad[64];                      // avoid false sharing
   };
 
@@ -184,6 +191,8 @@ class ParallelEngine {
     do_activate(w, to);
     if (cfg_.trace != nullptr)
       trace(w, {step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    if (cfg_.profile != nullptr)
+      ++workers_[static_cast<std::size_t>(w)].prof_receive;
     WorkerView view{this, w};
     Ctx ctx(view, to);
     nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
@@ -252,10 +261,15 @@ RunMetrics ParallelEngine<Node>::run() {
         std::min(crash_at_[static_cast<std::size_t>(of.node)], of.at_step);
   CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
 
+  EngineProfile* prof = cfg_.profile;
+  if (prof != nullptr) *prof = EngineProfile{};
+  const auto prof_run0 = ProfileClock::now();
+
   store_.activate(cfg_.root, 0);
   active_count_ = 1;
   for (NodeId i = 0; i < cfg_.n; ++i) {
     if (!store_.alive(i)) continue;
+    if (prof != nullptr) ++prof->callbacks_start;
     WorkerView view{this, static_cast<int>(i) % threads_};
     Ctx ctx(view, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
@@ -292,8 +306,11 @@ RunMetrics ParallelEngine<Node>::run() {
     const bool one_per_step = cfg_.rx == RxPolicy::kOnePerStep;
     auto& ws = workers_[static_cast<std::size_t>(w)];
     std::vector<TimedMsg> due;
+    const bool profiled = cfg_.profile != nullptr;
     while (!stop_) {
       const Step s = step_;
+      const auto prof_a0 =
+          profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
       // --- phase A: failures, deliveries, ticks ---
       for (NodeId i = me; i < cfg_.n; i += threads_) {
         const auto idx = static_cast<std::size_t>(i);
@@ -307,16 +324,20 @@ RunMetrics ParallelEngine<Node>::run() {
           ws.delivered += deliver_for(w, i, due);
         if (store_.state(i) == NodeRunState::kActive &&
             store_.activated_at(i) != s) {
+          if (profiled) ++ws.prof_tick;
           WorkerView view{this, w};
           Ctx ctx(view, i);
           nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
         }
       }
+      if (profiled) ws.prof_phase_a_s += ProfileClock::seconds_since(prof_a0);
       bar_a.arrive_and_wait();
       if (stop_) {
         bar_b.arrive_and_wait();
         break;
       }
+      const auto prof_b0 =
+          profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
       // --- phase B: route staged messages to owned nodes ---
       for (const auto& other : workers_) {
         for (const auto& tm : other.outbox) {
@@ -325,6 +346,7 @@ RunMetrics ParallelEngine<Node>::run() {
           }
         }
       }
+      if (profiled) ws.prof_phase_b_s += ProfileClock::seconds_since(prof_b0);
       bar_b.arrive_and_wait();
       // outboxes cleared by their owners after everyone routed
       ws.outbox.clear();
@@ -340,6 +362,17 @@ RunMetrics ParallelEngine<Node>::run() {
     for (auto& th : pool) th.join();
   }
 
+  if (prof != nullptr) {
+    for (const auto& ws : workers_) {
+      prof->callbacks_receive += ws.prof_receive;
+      prof->callbacks_tick += ws.prof_tick;
+      // Phase time = the slowest worker's compute (the step's critical path).
+      prof->deliver_s = std::max(prof->deliver_s, ws.prof_phase_a_s);
+      prof->route_s = std::max(prof->route_s, ws.prof_phase_b_s);
+    }
+    prof->steps = step_;
+    prof->wall_s = ProfileClock::seconds_since(prof_run0);
+  }
   for (const auto& ws : workers_) ws.counts.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_, cfg_.record_node_detail);
   return metrics_;

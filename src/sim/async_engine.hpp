@@ -28,6 +28,7 @@
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
+#include "sim/core/profile.hpp"
 #include "sim/core/run_config.hpp"
 #include "sim/core/send_gate.hpp"
 #include "sim/event_queue.hpp"
@@ -150,6 +151,7 @@ class AsyncEngine {
     do_activate(to);
     if (cfg_.trace != nullptr)
       trace({step_now(), TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_receive;
     Ctx ctx(*this, to);
     nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
   }
@@ -169,6 +171,7 @@ class AsyncEngine {
         kill(i);
         return;
       }
+      if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_tick;
       Ctx ctx(*this, i);
       nodes_[idx].on_tick(ctx);
       if (store_.state(i) == NodeRunState::kActive) schedule_tick(i, at_step + 1);
@@ -239,24 +242,53 @@ RunMetrics AsyncEngine<Node>::run() {
                    [this, node = of.node] { kill(node); });
   }
 
+  EngineProfile* prof = cfg_.profile;
+  if (prof != nullptr) *prof = EngineProfile{};
+  const auto prof_run0 = ProfileClock::now();
+
   // Root is active from step 0; everyone alive gets on_start.
   store_.activate(cfg_.root, 0);
   schedule_tick(cfg_.root, 1);
   for (NodeId i = 0; i < cfg_.n; ++i) {
     if (!store_.alive(i)) continue;
+    if (prof != nullptr) ++prof->callbacks_start;
     Ctx ctx(*this, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
   }
 
+  // Two copies of the drain loop so the profiled path costs the common
+  // case nothing at all (not even a branch per event).
   const Step max_steps = cfg_.effective_max_steps();
-  while (!q_.empty()) {
-    q_.run_one();
-    if (step_now() >= max_steps) {
-      metrics_.hit_max_steps = true;
-      break;
+  if (prof != nullptr) {
+    while (!q_.empty()) {
+      // Attribute each handler's wall time to the internal phase it fired
+      // in: arrivals / rx pops -> deliver, ticks -> tick.
+      const auto t0 = ProfileClock::now();
+      q_.run_one();
+      const double dt = ProfileClock::seconds_since(t0);
+      if (q_.now() % kPhases == kPhaseTick)
+        prof->tick_s += dt;
+      else
+        prof->deliver_s += dt;
+      if (step_now() >= max_steps) {
+        metrics_.hit_max_steps = true;
+        break;
+      }
+    }
+  } else {
+    while (!q_.empty()) {
+      q_.run_one();
+      if (step_now() >= max_steps) {
+        metrics_.hit_max_steps = true;
+        break;
+      }
     }
   }
 
+  if (prof != nullptr) {
+    prof->steps = step_now();
+    prof->wall_s = ProfileClock::seconds_since(prof_run0);
+  }
   counts_.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_now(), cfg_.record_node_detail);
   return metrics_;

@@ -114,12 +114,14 @@ class NodeStateStore {
     m.n_total = n_;
     m.t_end = t_end;
     Step last_colored = 0, last_delivered = 0, last_complete = 0;
+    bool any_colored = false;
     bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
     for (NodeId i = 0; i < n_; ++i) {
       if (alive_[idx(i)] == 0) continue;
       ++m.n_active;
       if (colored_at_[idx(i)] != kNever) {
         ++m.n_colored;
+        any_colored = true;
         last_colored = std::max(last_colored, colored_at_[idx(i)]);
         if (completed_at_[idx(i)] != kNever)
           last_complete = std::max(last_complete, completed_at_[idx(i)]);
@@ -138,7 +140,9 @@ class NodeStateStore {
     m.all_active_colored = !any_uncolored;
     m.all_active_delivered = !any_undelivered;
     m.t_last_colored = any_uncolored ? kNever : last_colored;
-    m.t_last_colored_partial = last_colored;
+    // kNever (not 0) when nobody was colored: 0 is a legitimate coloring
+    // step (the root's), so it cannot double as "never happened".
+    m.t_last_colored_partial = any_colored ? last_colored : kNever;
     m.t_last_delivered = any_undelivered ? kNever : last_delivered;
     // Completion is over COLORED nodes: a weakly consistent protocol
     // (GOS/OCG) legitimately finishes while some nodes were never reached.

@@ -1,0 +1,57 @@
+// Engine self-profiling (RunConfig::profile; opt-in, zero cost when off).
+//
+// Every execution engine fills the same counters so simulator performance
+// is comparable across schedulers and trackable over time (BENCH_*.json):
+//   * callbacks_* - protocol callbacks dispatched (on_start / on_receive /
+//     on_tick); their sum is the "events processed" figure;
+//   * steps       - simulated steps advanced;
+//   * wall_s      - wall time of the whole run() call;
+//   * per-phase wall time, attributed per engine:
+//       - stepped:  deliver_s = failures + message deliveries,
+//                   tick_s = the tick sweep;
+//       - async:    handler time split by the internal phase that fired
+//                   (arrival/rx -> deliver_s, tick -> tick_s);
+//       - parallel: deliver_s = slowest worker's phase-A compute (deliver +
+//                   tick, not separable per node without per-node timers),
+//                   route_s = slowest worker's phase-B routing.  Barrier
+//                   wait time is excluded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cg {
+
+struct EngineProfile {
+  std::int64_t callbacks_start = 0;
+  std::int64_t callbacks_receive = 0;
+  std::int64_t callbacks_tick = 0;
+  Step steps = 0;
+  double wall_s = 0;
+  double deliver_s = 0;
+  double tick_s = 0;
+  double route_s = 0;
+
+  /// Protocol callbacks dispatched over the run.
+  std::int64_t events() const {
+    return callbacks_start + callbacks_receive + callbacks_tick;
+  }
+
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events()) / wall_s : 0.0;
+  }
+};
+
+/// Monotonic timestamp helper for the engines' profiling blocks.
+class ProfileClock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  static TimePoint now() { return std::chrono::steady_clock::now(); }
+  static double seconds_since(TimePoint t0) {
+    return std::chrono::duration<double>(now() - t0).count();
+  }
+};
+
+}  // namespace cg

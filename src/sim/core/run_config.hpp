@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/core/profile.hpp"
 #include "sim/failure.hpp"
 #include "sim/logp.hpp"
 #include "sim/trace.hpp"
@@ -31,6 +32,9 @@ struct RunConfig {
   FailureSchedule failures{};
   bool record_node_detail = false;
   TraceSink* trace = nullptr;  ///< not owned; may be nullptr
+  /// Engine self-profiling: when set, the engine fills callback counts and
+  /// per-phase wall times (see sim/core/profile.hpp).  Not owned.
+  EngineProfile* profile = nullptr;
   /// Model extension beyond the paper: add a uniform random extra delay of
   /// 0..jitter_max steps to every message (network variance).  Protocols'
   /// phase boundaries still use the synchronized clock; the ablation bench

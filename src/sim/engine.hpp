@@ -43,6 +43,7 @@
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
+#include "sim/core/profile.hpp"
 #include "sim/core/run_config.hpp"
 #include "sim/core/send_gate.hpp"
 #include "sim/failure.hpp"
@@ -169,6 +170,7 @@ void Engine<Node>::dispatch(NodeId to, const Message& m) {
   if (store_.activate(to, step_)) ++active_count_;
   if (cfg_.trace != nullptr)
     trace({step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+  if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_receive;
   Ctx ctx(*this, to);
   nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
 }
@@ -211,12 +213,17 @@ RunMetrics Engine<Node>::run() {
             });
   std::size_t next_failure = 0;
 
+  EngineProfile* prof = cfg_.profile;
+  if (prof != nullptr) *prof = EngineProfile{};
+  const auto prof_run0 = ProfileClock::now();
+
   // Start: root is active; everyone alive gets on_start.  The root counts
   // as activated at step 0 (colored at 0, first emission at step 1).
   store_.activate(cfg_.root, 0);
   ++active_count_;
   for (NodeId i = 0; i < cfg_.n; ++i) {
     if (!store_.alive(i)) continue;
+    if (prof != nullptr) ++prof->callbacks_start;
     Ctx ctx(*this, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
   }
@@ -228,6 +235,9 @@ RunMetrics Engine<Node>::run() {
       metrics_.hit_max_steps = true;
       break;
     }
+
+    auto prof_phase0 = prof != nullptr ? ProfileClock::now()
+                                       : ProfileClock::TimePoint{};
 
     // 1. crash failures scheduled at or before this step
     while (next_failure < online.size() && online[next_failure].at_step <= step_) {
@@ -271,6 +281,11 @@ RunMetrics Engine<Node>::run() {
       }
     }
 
+    if (prof != nullptr) {
+      prof->deliver_s += ProfileClock::seconds_since(prof_phase0);
+      prof_phase0 = ProfileClock::now();
+    }
+
     // 3. ticks - a node activated at step c (first receive, or the root at
     // step 0) may only emit from step c+1 (its receive occupied step c),
     // so its first tick is skipped.
@@ -278,13 +293,19 @@ RunMetrics Engine<Node>::run() {
       if (store_.state(i) != NodeRunState::kActive ||
           store_.activated_at(i) == step_)
         continue;
+      if (prof != nullptr) ++prof->callbacks_tick;
       Ctx ctx(*this, i);
       nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
     }
+    if (prof != nullptr) prof->tick_s += ProfileClock::seconds_since(prof_phase0);
 
     ++step_;
   }
 
+  if (prof != nullptr) {
+    prof->steps = step_;
+    prof->wall_s = ProfileClock::seconds_since(prof_run0);
+  }
   return finalize();
 }
 

@@ -17,7 +17,8 @@ struct RunMetrics {
 
   // --- timing (steps of O; kNever if the event did not happen) ---------
   Step t_last_colored = kNever;    ///< last active node got the payload
-  Step t_last_colored_partial = 0; ///< last coloring among REACHED nodes
+  Step t_last_colored_partial = kNever; ///< last coloring among REACHED nodes
+                                        ///< (kNever if nobody was colored)
   Step t_last_delivered = kNever;  ///< last active node delivered
   Step t_complete = kNever;        ///< last active colored node exited
   Step t_root_complete = kNever;   ///< root's completion (BFB's ack-to-root)

@@ -16,6 +16,17 @@ const char* trace_kind_name(TraceEvent::Kind k) {
   return "?";
 }
 
+bool trace_kind_from_name(std::string_view name, TraceEvent::Kind& out) {
+  for (int k = 0; k < kTraceKindCount; ++k) {
+    const auto kind = static_cast<TraceEvent::Kind>(k);
+    if (name == trace_kind_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string VectorTrace::to_string() const {
   std::string out;
   char buf[128];

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -25,9 +26,20 @@ struct TraceEvent {
   NodeId node = kNoNode;
   NodeId peer = kNoNode;       ///< send target / message source (if any)
   Tag tag = Tag::kGossip;      ///< for kSend / kDeliver
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.step == b.step && a.kind == b.kind && a.node == b.node &&
+           a.peer == b.peer && a.tag == b.tag;
+  }
 };
 
+/// Number of TraceEvent::Kind values (for per-kind counter arrays).
+inline constexpr int kTraceKindCount = 6;
+
 const char* trace_kind_name(TraceEvent::Kind k);
+
+/// Inverse of trace_kind_name; returns false for unknown names.
+bool trace_kind_from_name(std::string_view name, TraceEvent::Kind& out);
 
 /// Abstract sink; the engine calls this if RunConfig::trace is set.
 class TraceSink {

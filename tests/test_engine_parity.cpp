@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/runner.hpp"
+#include "obs/trace_sinks.hpp"
 #include "sim/trace.hpp"
 
 namespace cg {
@@ -155,6 +156,58 @@ TEST(EngineParity, AsyncTraceMatchesSerialMultiset) {
   run_once(Algo::kOcg, acfg, cfg, {EngineKind::kAsync, 1});
   EXPECT_FALSE(serial_trace.events().empty());
   EXPECT_EQ(sorted_keys(serial_trace), sorted_keys(async_trace));
+}
+
+// Strongest trace-parity statement: after canonical sorting, the JSONL
+// serialization of a kOnePerStep run is BYTE-IDENTICAL across all three
+// engines.  (Raw emission order differs - worker interleaving, heap order -
+// which is exactly what obs::canonical_sort exists to factor out.)
+TEST(EngineParity, CanonicalJsonlIsByteIdenticalAcrossEngines) {
+  const AlgoConfig acfg = algo_cfg(Algo::kFcg);
+  const RunConfig base = harsh_cfg(17, RxPolicy::kOnePerStep);
+
+  auto canonical_jsonl = [&](EngineKind kind, int threads) {
+    VectorTrace trace;
+    RunConfig cfg = base;
+    cfg.trace = &trace;
+    run_once(Algo::kFcg, acfg, cfg, {kind, threads});
+    std::vector<TraceEvent> events = trace.events();
+    obs::canonical_sort(events);
+    return obs::to_jsonl(events);
+  };
+
+  const std::string serial = canonical_jsonl(EngineKind::kStepped, 1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kAsync, 1));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 2));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 5));
+}
+
+// The engines' self-profiles must agree on the callback counts (they run
+// the same simulation), even though the wall-clock split is engine-specific.
+TEST(EngineParity, ProfileCallbackCountsMatchAcrossEngines) {
+  const AlgoConfig acfg = algo_cfg(Algo::kCcg);
+  const RunConfig base = harsh_cfg(23, RxPolicy::kDrainAll);
+
+  auto profiled = [&](EngineKind kind, int threads) {
+    EngineProfile prof;
+    RunConfig cfg = base;
+    cfg.profile = &prof;
+    run_once(Algo::kCcg, acfg, cfg, {kind, threads});
+    return prof;
+  };
+
+  const EngineProfile serial = profiled(EngineKind::kStepped, 1);
+  const EngineProfile async = profiled(EngineKind::kAsync, 1);
+  const EngineProfile par = profiled(EngineKind::kParallel, 3);
+  EXPECT_GT(serial.callbacks_receive, 0);
+  EXPECT_GT(serial.callbacks_tick, 0);
+  EXPECT_EQ(serial.callbacks_start, async.callbacks_start);
+  EXPECT_EQ(serial.callbacks_receive, async.callbacks_receive);
+  EXPECT_EQ(serial.callbacks_tick, async.callbacks_tick);
+  EXPECT_EQ(serial.callbacks_start, par.callbacks_start);
+  EXPECT_EQ(serial.callbacks_receive, par.callbacks_receive);
+  EXPECT_EQ(serial.callbacks_tick, par.callbacks_tick);
 }
 
 // Acceptance spot-checks for the capabilities this PR unlocks.
