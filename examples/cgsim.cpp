@@ -6,10 +6,20 @@
 //
 //   ./cgsim --algo=fcg --n=4096 --l=2 --o=1 --trials=1000 [--t=37]
 //           [--corr=6] [--f=1] [--pre-fail=3] [--online-fail=1]
-//           [--jitter=0] [--drop=0] [--eps=6.93e-7] [--seed=1]
+//           [--jitter=0] [--drop-prob=0] [--eps=6.93e-7] [--seed=1]
 //           [--rx=drain|one] [--threads=1] [--drain-extra=0] [--csv]
 //
 // Omitted --t/--corr are tuned from the analytic models at --eps.
+//
+// Fault injection (docs/FAULTS.md):
+//   --drop-prob=P         i.i.d. loss (alias: --drop); 1.0 = blackhole
+//   --burst-loss=P        Gilbert-Elliott burst loss, overall rate P
+//   --burst-mean=K        mean burst length in steps (default 4)
+//   --restart=K           K nodes crash and rejoin uncolored
+//   --restart-outage=S    steps a restarted node stays down (0 = auto)
+//   --stragglers=K        K nodes send at --straggler-factor x delay
+//   --partition=K         K nodes transiently partitioned off
+//   --reliable            ack/retransmit hardening for CCG/FCG correction
 //
 // Observability outputs (each replays trial #0 with instrumentation):
 //   --trace-out=<file>    event trace; *.jsonl gets one JSON object per
@@ -29,6 +39,7 @@
 #include "common/table.hpp"
 #include "harness/scenarios.hpp"
 #include "obs/json.hpp"
+#include "sim/fault/validate.hpp"
 #include "obs/report.hpp"
 #include "obs/series.hpp"
 #include "obs/trace_sinks.hpp"
@@ -86,7 +97,14 @@ int main(int argc, char** argv) {
   spec.trials = static_cast<int>(flags.get_int("trials", 1000));
   spec.threads = static_cast<int>(flags.get_int("threads", 1));
   spec.jitter_max = flags.get_int("jitter", 0);
-  spec.drop_prob = flags.get_double("drop", 0.0);
+  spec.drop_prob = flags.get_double("drop-prob", flags.get_double("drop", 0.0));
+  spec.burst_loss = flags.get_double("burst-loss", 0.0);
+  spec.burst_mean = flags.get_int("burst-mean", 4);
+  spec.restarts = static_cast<int>(flags.get_int("restart", 0));
+  spec.restart_outage = flags.get_int("restart-outage", 0);
+  spec.stragglers = static_cast<int>(flags.get_int("stragglers", 0));
+  spec.straggler_factor = flags.get_int("straggler-factor", 4);
+  spec.partition_nodes = static_cast<int>(flags.get_int("partition", 0));
   spec.pre_failures = pre;
   spec.online_failures = online;
   spec.rx = flags.get_string("rx", "drain") == "one" ? RxPolicy::kOnePerStep
@@ -100,6 +118,17 @@ int main(int argc, char** argv) {
     spec.acfg.ocg_corr_sends = flags.get_int("corr", spec.acfg.ocg_corr_sends);
   spec.acfg.fcg_f = f;
   spec.acfg.drain_extra = flags.get_int("drain-extra", 0);
+  spec.acfg.reliable.enabled = flags.get_bool("reliable", false);
+
+  // Surface configuration problems as a friendly error instead of the
+  // engine's CG_CHECK abort (e.g. out-of-range probabilities, a schedule
+  // that crashes the root, overlapping restart windows).
+  const std::string cfg_err = config_error(trial_run_config(spec, 0));
+  if (!cfg_err.empty()) {
+    std::fprintf(stderr, "cgsim: invalid configuration: %s\n",
+                 cfg_err.c_str());
+    return 2;
+  }
 
   std::printf("cgsim: %s on N=%d (L=%.0fus O=%.0fus), T=%lld, %d trials, "
               "%d pre-failed, %d online failures, jitter<=%lld, eps=%.3g\n",
@@ -185,6 +214,9 @@ int main(int argc, char** argv) {
   table.add_row({"  gossip part", Table::cell("%.1f", agg.work_gossip.mean())});
   table.add_row({"  correction part",
                  Table::cell("%.1f", agg.work_correction.mean())});
+  if (spec.acfg.reliable.enabled)
+    table.add_row({"  retransmissions",
+                   Table::cell("%.1f", agg.work_retrans.mean())});
   table.add_row({"inconsistency (mean)",
                  Table::cell("%.3g", agg.inconsistency.mean())});
   table.add_row({"all-reached trials",
@@ -196,7 +228,7 @@ int main(int argc, char** argv) {
   table.add_row(
       {"all-or-nothing violations",
        Table::cell("%lld", static_cast<long long>(agg.all_or_nothing_violations))});
-  table.add_row({"runaway (hit max steps)",
+  table.add_row({"truncated (hit max steps)",
                  Table::cell("%lld",
                              static_cast<long long>(agg.hit_max_steps_trials))});
   if (flags.get_bool("csv", false))
@@ -247,6 +279,13 @@ int main(int argc, char** argv) {
       w.kv("seed", static_cast<std::int64_t>(spec.seed));
       w.kv("jitter_max", static_cast<std::int64_t>(spec.jitter_max));
       w.kv("drop_prob", spec.drop_prob);
+      w.kv("burst_loss", spec.burst_loss);
+      w.kv("burst_mean", static_cast<std::int64_t>(spec.burst_mean));
+      w.kv("restarts", static_cast<std::int64_t>(spec.restarts));
+      w.kv("stragglers", static_cast<std::int64_t>(spec.stragglers));
+      w.kv("partition_nodes",
+           static_cast<std::int64_t>(spec.partition_nodes));
+      w.kv("reliable", spec.acfg.reliable.enabled);
       w.kv("pre_failures", static_cast<std::int64_t>(spec.pre_failures));
       w.kv("online_failures",
            static_cast<std::int64_t>(spec.online_failures));

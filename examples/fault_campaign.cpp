@@ -1,0 +1,91 @@
+// Fault-injection campaign: run CCG and FCG (plain and loss-hardened)
+// through the stock grid of hostile channels - i.i.d. loss, Gilbert-
+// Elliott burst loss, crashes, crash-restarts, stragglers, transient
+// partitions - and check each variant's guarantee as a hard predicate
+// over every trial.  Writes the machine-readable reliability report that
+// docs/FAULTS.md describes.
+//
+//   ./fault_campaign [--n=128] [--trials=100] [--seed=21] [--threads=1]
+//                    [--report-json=campaign.json] [--strict]
+//
+// --strict makes a failed guarantee cell a non-zero exit (CI gate).
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "harness/campaign.hpp"
+#include "harness/scenarios.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cg;
+  const Flags flags(argc, argv);
+
+  CampaignConfig cfg;
+  cfg.n = static_cast<NodeId>(flags.get_int("n", 128));
+  cfg.logp = LogP::piz_daint();
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+  cfg.trials = static_cast<int>(flags.get_int("trials", 100));
+  cfg.threads = static_cast<int>(flags.get_int("threads", 1));
+
+  const double eps = 1e-4;
+  std::vector<CampaignEntry> entries;
+  for (const Algo a : {Algo::kCcg, Algo::kFcg}) {
+    const TunedAlgo tuned = tune_for(a, cfg.n, cfg.n, cfg.logp, eps, /*f=*/1);
+    for (auto& e : default_entries(a, tuned.acfg)) entries.push_back(e);
+  }
+  const auto scenarios = default_fault_scenarios();
+
+  std::printf("fault campaign: N=%d, %d trials per cell, %zu scenarios x "
+              "%zu entries\n\n",
+              cfg.n, cfg.trials, scenarios.size(), entries.size());
+
+  const CampaignResult result = run_campaign(cfg, scenarios, entries);
+
+  Table table({"scenario", "entry", "guarantee", "pass", "reached",
+               "aon viol", "SOS", "retrans", "truncated"});
+  for (const auto& cell : result.cells) {
+    table.add_row(
+        {cell.scenario, cell.entry, guarantee_name(cell.guarantee),
+         cell.guarantee == Guarantee::kNone ? "-" : (cell.pass ? "yes" : "NO"),
+         Table::cell("%lld/%lld",
+                     static_cast<long long>(cell.agg.all_colored_trials),
+                     static_cast<long long>(cell.agg.trials)),
+         Table::cell("%lld",
+                     static_cast<long long>(cell.agg.all_or_nothing_violations)),
+         Table::cell("%lld", static_cast<long long>(cell.agg.sos_trials)),
+         Table::cell("%.1f", cell.agg.work_retrans.mean()),
+         Table::cell("%lld",
+                     static_cast<long long>(cell.agg.hit_max_steps_trials))});
+  }
+  table.print();
+  std::printf("\n%d/%zu guarantee cells failed\n", result.failed_cells,
+              result.cells.size());
+
+  const std::string report_out = flags.get_string("report-json", "");
+  if (!report_out.empty()) {
+    if (write_file(report_out, obs::to_json(result) + "\n")) {
+      std::printf("report: %s\n", report_out.c_str());
+    } else {
+      std::fprintf(stderr, "fault_campaign: cannot write %s\n",
+                   report_out.c_str());
+      return 1;
+    }
+  }
+
+  if (flags.get_bool("strict", false) && !result.all_pass()) return 3;
+  return 0;
+}

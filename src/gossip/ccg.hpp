@@ -8,6 +8,13 @@
 // Strongly consistent provided no node fails during the correction phase
 // (Claim 3).  c-nodes (colored by a correction message) exit immediately
 // and never send.
+//
+// With Params::reliable.enabled the correction sweep runs over the
+// ack/retransmit sublayer (gossip/reliable.hpp): kFwd/kBwd sends are
+// tracked and retransmitted under loss, received correction traffic is
+// acked and deduplicated, and a node defers its exit until the sublayer
+// has drained (acks flushed, transactions acked or abandoned).  With it
+// disabled the behavior is bit-identical to the paper's Algorithm 2.
 #pragma once
 
 #include <algorithm>
@@ -17,6 +24,7 @@
 
 #include "common/ring.hpp"
 #include "common/types.hpp"
+#include "gossip/reliable.hpp"
 #include "gossip/timing.hpp"
 #include "proto/message.hpp"
 
@@ -28,12 +36,14 @@ class CcgNode {
     Step T = 0;  ///< gossip stop time
     /// Extra drain steps before the correction starts (see OcgNode).
     Step drain_extra = 0;
+    /// Ack/retransmit hardening of the correction sweep (off by default).
+    ReliableParams reliable;
     /// Testing hook: bitmap of nodes pre-colored as g-nodes at step 0.
     std::shared_ptr<const std::vector<std::uint8_t>> seed_colored;
   };
 
   CcgNode(const Params& p, NodeId self, NodeId n)
-      : p_(p), self_(self), ring_(n) {}
+      : p_(p), self_(self), ring_(n), rel_(p.reliable, self, n) {}
 
   template <class Ctx>
   void on_start(Ctx& ctx) {
@@ -52,6 +62,13 @@ class CcgNode {
 
   template <class Ctx>
   void on_receive(Ctx& ctx, const Message& m) {
+    switch (rel_.on_receive(ctx, m)) {
+      case ReliableLink::Rx::kAck:
+      case ReliableLink::Rx::kDuplicate:
+        return;  // sublayer traffic; completion happens in on_tick only
+      case ReliableLink::Rx::kProcess: break;
+    }
+    if (want_complete_) return;  // sweep done; sublayer drain only
     if (!colored_) {
       colored_ = true;
       ctx.mark_colored();
@@ -59,8 +76,9 @@ class CcgNode {
       if (m.tag == Tag::kGossip) {
         g_node_ = true;
       } else {
-        // c-node: exits right away (Algorithm 2 line 4).
-        ctx.complete();
+        // c-node: exits right away (Algorithm 2 line 4); with the reliable
+        // sublayer on it first flushes the ack it now owes.
+        finish(ctx);
         return;
       }
     }
@@ -77,6 +95,14 @@ class CcgNode {
 
   template <class Ctx>
   void on_tick(Ctx& ctx) {
+    if (rel_.on_tick(ctx)) {  // acks / retransmits own this step's slot
+      try_complete(ctx);
+      return;
+    }
+    if (want_complete_) {
+      try_complete(ctx);
+      return;
+    }
     const Step now = ctx.now();
     if (now < p_.T) {
       Message m;
@@ -102,21 +128,41 @@ class CcgNode {
       if (target != self_) {
         Message m;
         m.tag = dir_tag(dir);
-        ctx.send(target, m);
+        rel_.send(ctx, target, m);
       }
     }
     if (dir == Dir::kBwd) ++off_;  // both directions tried at this offset
 
     // Full circle (line 16) or both directions satisfied: exit.
-    if (off_ >= ring_.size() || (!s_fwd_ && !s_bwd_)) ctx.complete();
+    if (off_ >= ring_.size() || (!s_fwd_ && !s_bwd_)) finish(ctx);
   }
 
   bool colored() const { return colored_; }
   bool is_g_node() const { return g_node_; }
   Step nearest_fwd() const { return m_fwd_; }
   Step nearest_bwd() const { return m_bwd_; }
+  const ReliableLink& reliable() const { return rel_; }
 
  private:
+  /// Protocol wants to exit; with the sublayer on, hold the node until it
+  /// drained (acks owed, transactions unacked).  Completion then happens
+  /// exclusively from on_tick: completing inside on_receive would drop the
+  /// rest of a same-step delivery batch un-acked, and under kDrainAll the
+  /// engines drain a batch in engine-specific order - the set of acked
+  /// messages (hence every retransmit decision) must not depend on it.
+  template <class Ctx>
+  void finish(Ctx& ctx) {
+    if (!rel_.enabled()) {
+      ctx.complete();
+      return;
+    }
+    want_complete_ = true;
+  }
+
+  template <class Ctx>
+  void try_complete(Ctx& ctx) {
+    if (want_complete_ && rel_.idle()) ctx.complete();
+  }
   Params p_;
   NodeId self_;
   Ring ring_;
@@ -128,6 +174,8 @@ class CcgNode {
   Step m_bwd_ = kNever;  ///< distance to nearest g-node behind (from kFwd msgs)
   Step off_ = 1;
   Step slot_ = 0;
+  ReliableLink rel_;
+  bool want_complete_ = false;
 };
 
 }  // namespace cg

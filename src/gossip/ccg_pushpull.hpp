@@ -27,6 +27,9 @@ class CcgPushPullNode {
  public:
   struct Params {
     Step T = 0;
+    /// Max queued pull answers (see PushPullNode::Params::pending_cap);
+    /// overflow is shed and counted in RunMetrics::msgs_dropped.
+    int pending_cap = 8;
   };
 
   CcgPushPullNode(const Params& p, NodeId self, NodeId n)
@@ -48,8 +51,14 @@ class CcgPushPullNode {
   template <class Ctx>
   void on_receive(Ctx& ctx, const Message& m) {
     if (m.tag == Tag::kPullReq) {
-      if (colored_ && ctx.now() < p_.T && pending_.size() < 8)
-        pending_.push_back(m.src);
+      if (colored_ && ctx.now() < p_.T) {
+        if (pending_.size() <
+            static_cast<std::size_t>(std::max(p_.pending_cap, 0))) {
+          pending_.push_back(m.src);
+        } else {
+          ctx.note_dropped();  // backpressure: request silently shed
+        }
+      }
       return;
     }
     if (!colored_) {

@@ -15,6 +15,11 @@
 //   * a full lap without finding f+1 g-nodes triggers the SOS flood.
 // c-nodes deliver once they have heard of f+1 distinct g-nodes (so at
 // least one survivor will finish the dissemination), or SOS on timeout.
+//
+// With Params::reliable.enabled, correction (kFwd/kBwd) and SOS traffic
+// runs over the ack/retransmit sublayer (gossip/reliable.hpp), restoring
+// the all-or-nothing guarantee under message loss; nodes defer their exit
+// until the sublayer drained.  Disabled = bit-identical to Algorithm 3.
 #pragma once
 
 #include <algorithm>
@@ -25,6 +30,7 @@
 #include "common/check.hpp"
 #include "common/ring.hpp"
 #include "common/types.hpp"
+#include "gossip/reliable.hpp"
 #include "gossip/timing.hpp"
 #include "proto/message.hpp"
 
@@ -82,6 +88,8 @@ class FcgNode {
     Step drain_extra = 0; ///< extra drain before correction (see OcgNode)
     Step sos_timeout = 0; ///< absolute step; 0 = auto from N/T/LogP
     bool sos_enabled = true;  ///< disable to study Claim 5 (tests only)
+    /// Ack/retransmit hardening of correction + SOS (off by default).
+    ReliableParams reliable;
     /// Testing hook: bitmap of nodes pre-colored as g-nodes at step 0.
     std::shared_ptr<const std::vector<std::uint8_t>> seed_colored;
   };
@@ -98,7 +106,8 @@ class FcgNode {
         self_(self),
         ring_(n),
         known_{KnownGNodes(ring_, self, Dir::kFwd, p.f + 1),
-               KnownGNodes(ring_, self, Dir::kBwd, p.f + 1)} {
+               KnownGNodes(ring_, self, Dir::kBwd, p.f + 1)},
+        rel_(p.reliable, self, n) {
     CG_CHECK(p.f >= 0 && p.f <= kMaxKnownF);
   }
 
@@ -121,7 +130,13 @@ class FcgNode {
 
   template <class Ctx>
   void on_receive(Ctx& ctx, const Message& m) {
-    if (done_) return;
+    switch (rel_.on_receive(ctx, m)) {
+      case ReliableLink::Rx::kAck:
+      case ReliableLink::Rx::kDuplicate:
+        return;  // sublayer traffic; completion happens in on_tick only
+      case ReliableLink::Rx::kProcess: break;
+    }
+    if (done_ || want_complete_) return;
     if (m.tag == Tag::kSos) {
       // Line 23 / lines 8-10: enter SOS mode ourselves.
       if (!colored_) { colored_ = true; ctx.mark_colored(); }
@@ -157,8 +172,7 @@ class FcgNode {
       merge_cnode_knowledge(m);
       if (static_cast<int>(cnode_known_.size()) >= p_.f + 1) {
         ctx.deliver();
-        done_ = true;
-        ctx.complete();
+        finish(ctx);
       }
     }
   }
@@ -166,6 +180,14 @@ class FcgNode {
   template <class Ctx>
   void on_tick(Ctx& ctx) {
     if (done_) return;
+    if (rel_.on_tick(ctx)) {  // acks / retransmits own this step's slot
+      try_complete(ctx);
+      return;
+    }
+    if (want_complete_) {
+      try_complete(ctx);
+      return;
+    }
     const Step now = ctx.now();
 
     if (sos_mode_) {
@@ -221,7 +243,7 @@ class FcgNode {
           // Carried array: our known g-nodes in the direction the receiver
           // would call "towards the sender", i.e. opposite to travel.
           m.set_known(known_[idx(opposite(dir))].ids());
-          ctx.send(target, m);
+          rel_.send(ctx, target, m);
         }
         ++off_[d];
       }
@@ -241,8 +263,7 @@ class FcgNode {
 
     if (!s_[0] && !s_[1]) {
       ctx.deliver();
-      done_ = true;
-      ctx.complete();
+      finish(ctx);
     }
   }
 
@@ -250,9 +271,34 @@ class FcgNode {
   bool is_g_node() const { return g_node_; }
   bool in_sos() const { return sos_mode_; }
   const KnownGNodes& known(Dir d) const { return known_[idx(d)]; }
+  const ReliableLink& reliable() const { return rel_; }
 
  private:
   static int idx(Dir d) { return static_cast<int>(d); }
+
+  /// Protocol wants to exit; with the sublayer on, hold the node until it
+  /// drained (acks owed, transactions unacked).  Completion then happens
+  /// exclusively from on_tick: completing inside on_receive would drop the
+  /// rest of a same-step delivery batch un-acked, and under kDrainAll the
+  /// engines drain a batch in engine-specific order - the set of acked
+  /// messages (hence every retransmit decision) must not depend on it.
+  template <class Ctx>
+  void finish(Ctx& ctx) {
+    if (!rel_.enabled()) {
+      done_ = true;
+      ctx.complete();
+      return;
+    }
+    want_complete_ = true;
+  }
+
+  template <class Ctx>
+  void try_complete(Ctx& ctx) {
+    if (want_complete_ && rel_.idle()) {
+      done_ = true;
+      ctx.complete();
+    }
+  }
 
   void merge_cnode_knowledge(const Message& m) {
     auto add = [this](NodeId id) {
@@ -280,12 +326,11 @@ class FcgNode {
       if (target == self_) continue;
       Message m;
       m.tag = Tag::kSos;
-      ctx.send(target, m);
+      rel_.send(ctx, target, m);
       return;
     }
     ctx.deliver();
-    done_ = true;
-    ctx.complete();
+    finish(ctx);
   }
 
   Params p_;
@@ -306,6 +351,9 @@ class FcgNode {
 
   // c-node state: distinct g-nodes heard of.
   std::vector<NodeId> cnode_known_;
+
+  ReliableLink rel_;
+  bool want_complete_ = false;
 };
 
 }  // namespace cg

@@ -17,6 +17,7 @@
 // pushpull_expected_colored().
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -31,6 +32,11 @@ class PushPullNode {
   struct Params {
     Step T = 0;        ///< combined phase length (pushes and pulls stop at T)
     bool pull = true;  ///< disable to get plain push gossip for comparison
+    /// Max queued pull answers per node; requests beyond it are dropped
+    /// (and counted in RunMetrics::msgs_dropped).  A node late in the
+    /// epidemic is asked often; a short backlog suffices since stale
+    /// answers to already-colored askers are ignored anyway.
+    int pending_cap = 8;
   };
 
   PushPullNode(const Params& p, NodeId self, NodeId n)
@@ -52,10 +58,15 @@ class PushPullNode {
   template <class Ctx>
   void on_receive(Ctx& ctx, const Message& m) {
     if (m.tag == Tag::kPullReq) {
-      // Answer later from a send slot; cap the backlog (a node late in
-      // the epidemic is asked often; one pending answer per asker suffices
-      // and stale answers to already-colored askers are ignored anyway).
-      if (colored_ && pending_.size() < 8) pending_.push_back(m.src);
+      // Answer later from a send slot; cap the backlog (Params::pending_cap).
+      if (colored_) {
+        if (pending_.size() <
+            static_cast<std::size_t>(std::max(p_.pending_cap, 0))) {
+          pending_.push_back(m.src);
+        } else {
+          ctx.note_dropped();  // backpressure: request silently shed
+        }
+      }
       return;
     }
     if (!colored_) {  // payload (push or pull response)

@@ -1,0 +1,205 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cg {
+
+const char* guarantee_name(Guarantee g) {
+  switch (g) {
+    case Guarantee::kNone: return "none";
+    case Guarantee::kAllReached: return "all-reached";
+    case Guarantee::kAllOrNothing: return "all-or-nothing";
+    case Guarantee::kSosConsistent: return "sos-consistent";
+  }
+  return "?";
+}
+
+bool guarantee_holds(Guarantee g, const TrialAggregate& agg) {
+  switch (g) {
+    case Guarantee::kNone:
+      return true;
+    case Guarantee::kAllReached:
+      return agg.all_colored_trials == agg.trials;
+    case Guarantee::kAllOrNothing:
+      return agg.all_or_nothing_violations == 0;
+    case Guarantee::kSosConsistent:
+      return agg.all_or_nothing_violations == 0 &&
+             agg.sos_incomplete_trials == 0;
+  }
+  return false;
+}
+
+namespace {
+
+/// What an entry may still claim in a given environment.  Crash faults void
+/// claims the algorithms never made: CCG's consistency assumes no failure
+/// during correction, and a restarted node rejoins uncolored (nobody owes
+/// it a resend once the sweep has passed), so reach/all-or-nothing
+/// predicates degrade to observation-only cells there.
+Guarantee effective_guarantee(Guarantee g, const FaultScenario& sc) {
+  const bool crashes = sc.online_failures > 0 || sc.restarts > 0;
+  if (!crashes || g == Guarantee::kNone) return g;
+  if (g == Guarantee::kAllReached) return Guarantee::kNone;
+  if (sc.restarts > 0) return Guarantee::kNone;
+  return g;  // FCG-style claims survive plain crashes (f is sized below)
+}
+
+}  // namespace
+
+TrialSpec campaign_trial_spec(const CampaignConfig& cfg,
+                              const FaultScenario& scenario,
+                              const CampaignEntry& entry) {
+  TrialSpec spec;
+  spec.algo = entry.algo;
+  spec.acfg = entry.acfg;
+  spec.n = cfg.n;
+  spec.root = cfg.root;
+  spec.logp = cfg.logp;
+  spec.rx = cfg.rx;
+  spec.seed = cfg.seed;
+  spec.trials = cfg.trials;
+  spec.threads = cfg.threads;
+  spec.max_steps = cfg.max_steps;
+
+  spec.drop_prob = scenario.drop_prob;
+  spec.burst_loss = scenario.burst_loss;
+  spec.burst_mean = scenario.burst_mean;
+  spec.jitter_max = scenario.jitter_max;
+  spec.pre_failures = scenario.pre_failures;
+  spec.online_failures = scenario.online_failures;
+  spec.restarts = scenario.restarts;
+  spec.stragglers = scenario.stragglers;
+  spec.straggler_factor = scenario.straggler_factor;
+  spec.partition_nodes = scenario.partition_nodes;
+
+  // FCG is configured for the crash level it is asked to survive.
+  if (entry.algo == Algo::kFcg)
+    spec.acfg.fcg_f = std::max(spec.acfg.fcg_f, scenario.online_failures);
+  return spec;
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            const std::vector<FaultScenario>& scenarios,
+                            const std::vector<CampaignEntry>& entries) {
+  CG_CHECK(cfg.trials >= 1);
+  CampaignResult result;
+  result.cells.reserve(scenarios.size() * entries.size());
+  for (const auto& sc : scenarios) {
+    for (const auto& e : entries) {
+      CampaignCell cell;
+      cell.scenario = sc.name;
+      cell.entry = e.label;
+      cell.guarantee = effective_guarantee(e.guarantee, sc);
+      cell.agg = run_trials(campaign_trial_spec(cfg, sc, e));
+      cell.pass = guarantee_holds(cell.guarantee, cell.agg);
+      if (!cell.pass) ++result.failed_cells;
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+std::vector<FaultScenario> default_fault_scenarios() {
+  std::vector<FaultScenario> v;
+  {
+    FaultScenario s;
+    s.name = "clean";
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "iid-loss-2pct";
+    s.drop_prob = 0.02;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "burst-loss";  // mean burst 4 steps, 3% overall loss
+    s.burst_loss = 0.03;
+    s.burst_mean = 4;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "jittery-burst";
+    s.burst_loss = 0.02;
+    s.burst_mean = 3;
+    s.jitter_max = 2;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "crash";
+    s.pre_failures = 1;
+    s.online_failures = 1;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "crash-restart";
+    s.restarts = 2;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "stragglers";
+    s.stragglers = 3;
+    s.straggler_factor = 4;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "partition";
+    s.partition_nodes = 4;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "kitchen-sink";
+    s.burst_loss = 0.02;
+    s.burst_mean = 3;
+    s.jitter_max = 1;
+    s.online_failures = 1;
+    s.stragglers = 2;
+    v.push_back(s);
+  }
+  return v;
+}
+
+std::vector<CampaignEntry> default_entries(Algo algo, const AlgoConfig& base) {
+  std::vector<CampaignEntry> v;
+  CampaignEntry plain;
+  plain.label = algo_name(algo);
+  plain.algo = algo;
+  plain.acfg = base;
+  plain.acfg.reliable.enabled = false;
+
+  CampaignEntry hard = plain;
+  hard.label = std::string(algo_name(algo)) + "+rel";
+  hard.acfg.reliable.enabled = true;
+
+  switch (algo) {
+    case Algo::kCcg:
+      plain.guarantee = Guarantee::kNone;  // loss voids Claim 3 unhardened
+      hard.guarantee = Guarantee::kAllReached;
+      v.push_back(plain);
+      v.push_back(hard);
+      break;
+    case Algo::kFcg:
+      plain.guarantee = Guarantee::kNone;
+      hard.guarantee = Guarantee::kSosConsistent;
+      v.push_back(plain);
+      v.push_back(hard);
+      break;
+    default:
+      // No hardened variant: the sublayer only covers correction/SOS tags.
+      plain.guarantee = Guarantee::kNone;
+      v.push_back(plain);
+      break;
+  }
+  return v;
+}
+
+}  // namespace cg

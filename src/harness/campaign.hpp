@@ -1,0 +1,105 @@
+// Fault-injection campaign runner: a named grid of fault scenarios crossed
+// with algorithm variants, each cell a Monte-Carlo batch whose aggregate is
+// checked against the guarantee the variant claims.  This turns the paper's
+// consistency claims into machine-checkable predicates under hostile
+// channels (docs/FAULTS.md):
+//   * all-reached        - every trial colored every active node;
+//   * all-or-nothing     - no trial delivered to some-but-not-all;
+//   * SOS-consistent     - all-or-nothing AND no trial where the SOS
+//                          fallback fired yet failed to reach everyone.
+// The result serializes to a JSON reliability report via obs::to_json()
+// (src/obs/report.*) and drives examples/fault_campaign.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace cg {
+
+/// One named fault environment; fields mirror the TrialSpec fault knobs
+/// they are copied onto (per-trial sampling included).
+struct FaultScenario {
+  std::string name;
+  double drop_prob = 0;       ///< i.i.d. loss
+  double burst_loss = 0;      ///< Gilbert-Elliott overall loss (0 = off)
+  Step burst_mean = 4;        ///< mean burst length in steps
+  Step jitter_max = 0;
+  int pre_failures = 0;
+  int online_failures = 0;
+  int restarts = 0;           ///< crash-and-rejoin nodes
+  int stragglers = 0;
+  Step straggler_factor = 4;
+  int partition_nodes = 0;    ///< transient bidirectional partition size
+};
+
+/// Which predicate a campaign cell asserts over its aggregate.
+enum class Guarantee : std::uint8_t {
+  kNone,          ///< observation only - always passes
+  kAllReached,    ///< all_colored_trials == trials
+  kAllOrNothing,  ///< all_or_nothing_violations == 0
+  kSosConsistent, ///< all-or-nothing and sos_incomplete_trials == 0
+};
+
+const char* guarantee_name(Guarantee g);
+
+/// An algorithm variant under test, with the guarantee it claims.
+struct CampaignEntry {
+  std::string label;  ///< e.g. "CCG+rel"
+  Algo algo = Algo::kCcg;
+  AlgoConfig acfg{};
+  Guarantee guarantee = Guarantee::kNone;
+};
+
+/// Shared dimensions of every cell (scenario and entry fill in the rest).
+struct CampaignConfig {
+  NodeId n = 64;
+  NodeId root = 0;
+  LogP logp{};
+  RxPolicy rx = RxPolicy::kDrainAll;
+  std::uint64_t seed = 1;
+  int trials = 100;
+  int threads = 1;
+  Step max_steps = 0;  ///< 0 = engine auto limit
+};
+
+struct CampaignCell {
+  std::string scenario;
+  std::string entry;
+  Guarantee guarantee = Guarantee::kNone;
+  bool pass = true;
+  TrialAggregate agg;
+};
+
+struct CampaignResult {
+  std::vector<CampaignCell> cells;
+  int failed_cells = 0;
+  bool all_pass() const { return failed_cells == 0; }
+};
+
+/// Evaluate `guarantee` over an aggregate (exposed for tests).
+bool guarantee_holds(Guarantee g, const TrialAggregate& agg);
+
+/// The TrialSpec a given cell runs - exposed so a failing cell can be
+/// replayed with instrumentation attached.
+TrialSpec campaign_trial_spec(const CampaignConfig& cfg,
+                              const FaultScenario& scenario,
+                              const CampaignEntry& entry);
+
+/// Run the full scenarios x entries grid.
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            const std::vector<FaultScenario>& scenarios,
+                            const std::vector<CampaignEntry>& entries);
+
+/// The stock scenario grid used by examples/fault_campaign.cpp and the
+/// failure drill: clean channel, i.i.d. loss, burst loss, crash/restart
+/// mixes, stragglers, a transient partition, and a kitchen-sink combo.
+std::vector<FaultScenario> default_fault_scenarios();
+
+/// Stock entries for `algo` (= the variant with and, where meaningful,
+/// without the reliable sublayer), claiming the guarantees the paper +
+/// hardening give it under message loss.
+std::vector<CampaignEntry> default_entries(Algo algo, const AlgoConfig& base);
+
+}  // namespace cg

@@ -1,11 +1,15 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sim/fault/burst_loss.hpp"
+#include "sim/fault/partition.hpp"
+#include "sim/fault/stragglers.hpp"
 
 namespace cg {
 
@@ -22,13 +26,18 @@ void TrialAggregate::absorb(const RunMetrics& m) {
   work.add(static_cast<double>(m.msgs_total));
   work_gossip.add(static_cast<double>(m.msgs_gossip));
   work_correction.add(static_cast<double>(m.msgs_correction));
+  work_retrans.add(static_cast<double>(m.msgs_retrans));
   inconsistency.add(m.inconsistency());
   if (m.all_active_colored) ++all_colored_trials;
   if (m.all_active_delivered) ++all_delivered_trials;
-  if (m.sos_triggered) ++sos_trials;
+  if (m.sos_triggered) {
+    ++sos_trials;
+    if (!m.all_active_delivered) ++sos_incomplete_trials;
+  }
   if (!m.all_or_nothing_delivery()) ++all_or_nothing_violations;
   if (m.hit_max_steps) ++hit_max_steps_trials;
   bfb_restarts_total += m.bfb_restarts;
+  msgs_dropped_total += m.msgs_dropped;
 }
 
 void TrialAggregate::merge(const TrialAggregate& o) {
@@ -40,13 +49,16 @@ void TrialAggregate::merge(const TrialAggregate& o) {
   work.merge(o.work);
   work_gossip.merge(o.work_gossip);
   work_correction.merge(o.work_correction);
+  work_retrans.merge(o.work_retrans);
   inconsistency.merge(o.inconsistency);
   all_colored_trials += o.all_colored_trials;
   all_delivered_trials += o.all_delivered_trials;
   sos_trials += o.sos_trials;
   all_or_nothing_violations += o.all_or_nothing_violations;
+  sos_incomplete_trials += o.sos_incomplete_trials;
   hit_max_steps_trials += o.hit_max_steps_trials;
   bfb_restarts_total += o.bfb_restarts_total;
+  msgs_dropped_total += o.msgs_dropped_total;
 }
 
 RunConfig trial_run_config(const TrialSpec& spec, int trial) {
@@ -58,16 +70,48 @@ RunConfig trial_run_config(const TrialSpec& spec, int trial) {
   rcfg.jitter_max = spec.jitter_max;
   rcfg.drop_prob = spec.drop_prob;
   rcfg.seed = derive_seed(spec.seed, static_cast<std::uint64_t>(trial) * 2 + 1);
+  rcfg.max_steps = spec.max_steps;
+  if (spec.burst_loss > 0)
+    rcfg.burst = BurstLoss::from_rate(spec.burst_loss, spec.burst_mean);
 
-  if (spec.pre_failures > 0 || spec.online_failures > 0) {
+  Step horizon = spec.online_horizon;
+  if (horizon <= 0) horizon = spec.acfg.T + 4 * spec.logp.delivery_delay() + 32;
+
+  // One failure RNG stream per trial; draws happen in a fixed order
+  // (failures, restarts, stragglers, partition) so adding a later fault
+  // class never perturbs an earlier one's schedule for the same seed.
+  const bool wants_rng = spec.pre_failures > 0 || spec.online_failures > 0 ||
+                         spec.restarts > 0 || spec.stragglers > 0 ||
+                         spec.partition_nodes > 0;
+  if (wants_rng) {
     Xoshiro256 frng(
         derive_seed(spec.seed, static_cast<std::uint64_t>(trial) * 2 + 2));
-    Step horizon = spec.online_horizon;
-    if (horizon <= 0)
-      horizon = spec.acfg.T + 4 * spec.logp.delivery_delay() + 32;
-    rcfg.failures = FailureSchedule::random(
-        spec.n, spec.pre_failures, spec.online_failures, horizon, frng,
-        spec.root, spec.root_can_fail);
+    if (spec.pre_failures > 0 || spec.online_failures > 0) {
+      rcfg.failures = FailureSchedule::random(
+          spec.n, spec.pre_failures, spec.online_failures, horizon, frng,
+          spec.root, spec.root_can_fail);
+    }
+    if (spec.restarts > 0) {
+      Step outage = spec.restart_outage;
+      if (outage <= 0) outage = 2 * spec.logp.delivery_delay() + 4;
+      rcfg.failures.add_random_restarts(spec.n, spec.restarts, horizon, outage,
+                                        frng, spec.root);
+    }
+    if (spec.stragglers > 0) {
+      rcfg.stragglers = random_stragglers(spec.n, spec.stragglers,
+                                          spec.straggler_factor, frng,
+                                          spec.root);
+    }
+    if (spec.partition_nodes > 0) {
+      Step from = spec.partition_from;
+      Step until = spec.partition_until;
+      if (until <= from) {  // auto window: second half of the gossip phase
+        from = spec.acfg.T / 2;
+        until = from + std::max<Step>(horizon / 4, 1);
+      }
+      rcfg.partitions.push_back(random_partition(
+          spec.n, spec.partition_nodes, from, until, frng, spec.root));
+    }
   }
   return rcfg;
 }

@@ -30,6 +30,19 @@ struct TrialSpec {
   int online_failures = 0;
   Step online_horizon = 0;  ///< window for online-failure times
   bool root_can_fail = false;
+
+  // Fault injection, sampled per trial from the same failure RNG stream
+  // (see docs/FAULTS.md).  All off by default.
+  double burst_loss = 0;     ///< overall Gilbert-Elliott loss rate (0 = off)
+  Step burst_mean = 4;       ///< mean burst length in steps (>= 1)
+  int restarts = 0;          ///< nodes that crash and later rejoin
+  Step restart_outage = 0;   ///< steps down; 0 = auto (~2 delivery delays)
+  int stragglers = 0;        ///< nodes with a slowed send path
+  Step straggler_factor = 4; ///< delay multiplier for straggler sends
+  int partition_nodes = 0;   ///< size of a transient bidirectional partition
+  Step partition_from = 0;   ///< partition window [from, until); until<=from
+  Step partition_until = 0;  ///<   with partition_nodes>0 = auto window
+  Step max_steps = 0;        ///< RunConfig::max_steps override (0 = auto)
 };
 
 struct TrialAggregate {
@@ -45,14 +58,19 @@ struct TrialAggregate {
   SummaryStat work;             ///< msgs_total per trial
   SummaryStat work_gossip;
   SummaryStat work_correction;
+  SummaryStat work_retrans;     ///< msgs_retrans per trial (reliable mode)
   SummaryStat inconsistency;    ///< share of active nodes not reached
 
   std::int64_t all_colored_trials = 0;
   std::int64_t all_delivered_trials = 0;
   std::int64_t sos_trials = 0;
   std::int64_t all_or_nothing_violations = 0;  ///< FCG safety failures
+  /// Trials where SOS fired but still not every active node delivered:
+  /// the SOS fallback itself was defeated (e.g. the flood was lost).
+  std::int64_t sos_incomplete_trials = 0;
   std::int64_t hit_max_steps_trials = 0;
   std::int64_t bfb_restarts_total = 0;
+  std::int64_t msgs_dropped_total = 0;  ///< backpressure drops (pull caps)
 
   void absorb(const RunMetrics& m);
   void merge(const TrialAggregate& other);

@@ -11,6 +11,7 @@
 #include "gossip/ocg_chain.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/fault/validate.hpp"
 
 namespace cg {
 
@@ -64,6 +65,8 @@ RunMetrics run_engine(const RunConfig& rcfg, typename Node::Params params,
 
 RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg,
                     const ExecConfig& exec) {
+  const std::string cfg_err = config_error(rcfg);
+  CG_CHECK_MSG(cfg_err.empty(), cfg_err.c_str());
   switch (algo) {
     case Algo::kGos:
       return run_engine<GosNode>(rcfg, GosNode::Params{acfg.T}, exec);
@@ -79,6 +82,7 @@ RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg,
       CcgNode::Params params;
       params.T = acfg.T;
       params.drain_extra = acfg.drain_extra;
+      params.reliable = acfg.reliable;
       return run_engine<CcgNode>(rcfg, params, exec);
     }
     case Algo::kFcg: {
@@ -88,6 +92,7 @@ RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg,
       params.drain_extra = acfg.drain_extra;
       params.sos_timeout = acfg.fcg_sos_timeout;
       params.sos_enabled = acfg.fcg_sos_enabled;
+      params.reliable = acfg.reliable;
       return run_engine<FcgNode>(rcfg, params, exec);
     }
     case Algo::kOcgChain: {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "gossip/reliable.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 
@@ -29,9 +30,14 @@ struct AlgoConfig {
   Step fcg_sos_timeout = 0;    ///< 0 = auto
   bool fcg_sos_enabled = true;
   Step drain_extra = 0;    ///< pad the gossip drain window (OCG/CCG/FCG)
+  /// Ack/retransmit hardening of correction/SOS traffic (CCG/FCG only;
+  /// see gossip/reliable.hpp).  Off by default.
+  ReliableParams reliable;
 };
 
 /// Run one trial; RunConfig supplies N, root, LogP, seed, and failures.
+/// Aborts (CG_CHECK) if cg::config_error(rcfg) reports a problem - callers
+/// that take user input should surface config_error() themselves first.
 RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg);
 
 /// Which execution engine carries the run.  All three share the simulation

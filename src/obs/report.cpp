@@ -64,6 +64,8 @@ void write_json(JsonWriter& w, const RunMetrics& m) {
   w.kv("msgs_correction", m.msgs_correction);
   w.kv("msgs_sos", m.msgs_sos);
   w.kv("msgs_tree", m.msgs_tree);
+  w.kv("msgs_retrans", m.msgs_retrans);
+  w.kv("msgs_dropped", m.msgs_dropped);
   w.kv("all_active_colored", m.all_active_colored);
   w.kv("all_active_delivered", m.all_active_delivered);
   w.kv("all_or_nothing_delivery", m.all_or_nothing_delivery());
@@ -84,13 +86,16 @@ void write_json(JsonWriter& w, const TrialAggregate& agg) {
   summary_kv(w, "work", agg.work);
   summary_kv(w, "work_gossip", agg.work_gossip);
   summary_kv(w, "work_correction", agg.work_correction);
+  summary_kv(w, "work_retrans", agg.work_retrans);
   summary_kv(w, "inconsistency", agg.inconsistency);
   w.kv("all_colored_trials", agg.all_colored_trials);
   w.kv("all_delivered_trials", agg.all_delivered_trials);
   w.kv("sos_trials", agg.sos_trials);
   w.kv("all_or_nothing_violations", agg.all_or_nothing_violations);
+  w.kv("sos_incomplete_trials", agg.sos_incomplete_trials);
   w.kv("hit_max_steps_trials", agg.hit_max_steps_trials);
   w.kv("bfb_restarts_total", agg.bfb_restarts_total);
+  w.kv("msgs_dropped_total", agg.msgs_dropped_total);
   w.kv("all_colored_rate", agg.all_colored_rate());
   w.end_object();
 }
@@ -125,6 +130,33 @@ std::string to_json(const TrialAggregate& agg) {
 std::string to_json(const EngineProfile& prof) {
   JsonWriter w;
   write_json(w, prof);
+  return w.str();
+}
+
+void write_json(JsonWriter& w, const CampaignResult& result) {
+  w.begin_object();
+  w.kv("cells", static_cast<std::int64_t>(result.cells.size()));
+  w.kv("failed_cells", static_cast<std::int64_t>(result.failed_cells));
+  w.kv("all_pass", result.all_pass());
+  w.key("results");
+  w.begin_array();
+  for (const auto& cell : result.cells) {
+    w.begin_object();
+    w.kv("scenario", cell.scenario);
+    w.kv("entry", cell.entry);
+    w.kv("guarantee", guarantee_name(cell.guarantee));
+    w.kv("pass", cell.pass);
+    w.key("aggregate");
+    write_json(w, cell.agg);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string to_json(const CampaignResult& result) {
+  JsonWriter w;
+  write_json(w, result);
   return w.str();
 }
 

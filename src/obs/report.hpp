@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "harness/campaign.hpp"
 #include "harness/experiment.hpp"
 #include "sim/core/profile.hpp"
 #include "sim/metrics.hpp"
@@ -16,11 +17,16 @@ class JsonWriter;
 std::string to_json(const RunMetrics& m);
 std::string to_json(const TrialAggregate& agg);
 std::string to_json(const EngineProfile& prof);
+/// Reliability report: one record per campaign cell with the scenario,
+/// entry, claimed guarantee, pass/fail and the full aggregate (including
+/// work_retrans, the price of the hardening).
+std::string to_json(const CampaignResult& result);
 
 // Streaming variants for embedding into a larger document (cgsim's
 // --report-json wraps the aggregate with the run configuration).
 void write_json(JsonWriter& w, const RunMetrics& m);
 void write_json(JsonWriter& w, const TrialAggregate& agg);
 void write_json(JsonWriter& w, const EngineProfile& prof);
+void write_json(JsonWriter& w, const CampaignResult& result);
 
 }  // namespace cg::obs

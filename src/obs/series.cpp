@@ -18,6 +18,7 @@ void StepSeries::ensure_step(Step s) {
   sends_total_.resize(need, 0);
   for (auto& v : sends_by_phase_) v.resize(need, 0);
   delivers_.resize(need, 0);
+  lost_.resize(need, 0);
   new_ring_senders_.resize(need, 0);
 }
 
@@ -40,7 +41,8 @@ void StepSeries::on_event(const TraceEvent& ev) {
     }
     case TraceEvent::Kind::kDeliver: ++delivers_[s]; break;
     case TraceEvent::Kind::kColored: ++newly_colored_[s]; break;
-    default: break;  // delivered/complete/fail don't feed a series
+    case TraceEvent::Kind::kLost: ++lost_[s]; break;
+    default: break;  // delivered/complete/fail/restart don't feed a series
   }
 }
 
@@ -79,7 +81,7 @@ std::vector<std::int64_t> StepSeries::in_flight() const {
 std::string StepSeries::to_csv() const {
   std::string out =
       "step,colored,newly_colored,sends,sends_gossip,sends_correction,"
-      "sends_sos,sends_tree,delivers,in_flight,ring_watermark\n";
+      "sends_sos,sends_tree,delivers,lost,in_flight,ring_watermark\n";
   const auto colored = colored_cumulative();
   const auto flight = in_flight();
   const auto ring = ring_watermark();
@@ -87,7 +89,7 @@ std::string StepSeries::to_csv() const {
   for (std::size_t s = 0; s < newly_colored_.size(); ++s) {
     const int n = std::snprintf(
         buf, sizeof(buf),
-        "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+        "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
         static_cast<long long>(s), static_cast<long long>(colored[s]),
         static_cast<long long>(newly_colored_[s]),
         static_cast<long long>(sends_total_[s]),
@@ -95,7 +97,7 @@ std::string StepSeries::to_csv() const {
         static_cast<long long>(sends_by_phase_[1][s]),
         static_cast<long long>(sends_by_phase_[2][s]),
         static_cast<long long>(sends_by_phase_[3][s]),
-        static_cast<long long>(delivers_[s]),
+        static_cast<long long>(delivers_[s]), static_cast<long long>(lost_[s]),
         static_cast<long long>(flight[s]), static_cast<long long>(ring[s]));
     out.append(buf, static_cast<std::size_t>(n));
   }
@@ -127,6 +129,7 @@ std::string StepSeries::to_json() const {
     write_series(w, phase_name(static_cast<Phase>(p)), sends_by_phase_[p]);
   w.end_object();
   write_series(w, "delivers", delivers_);
+  write_series(w, "lost", lost_);
   write_series(w, "in_flight", in_flight());
   write_series(w, "ring_watermark", ring_watermark());
   w.end_object();

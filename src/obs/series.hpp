@@ -14,6 +14,8 @@
 //                         messages lost on the wire (drop_prob > 0) and
 //                         messages that reached crashed or already-completed
 //                         nodes, which the engines drop silently;
+//   * lost(t)           - messages lost on the wire at step t (i.i.d. loss,
+//                         burst loss or a partition - the fault timeline);
 //   * ring_watermark(t) - distinct nodes that have emitted a ring-
 //                         correction message by step t (progress of the
 //                         correction wave around the ring).
@@ -44,6 +46,7 @@ class StepSeries final : public TraceSink {
     return newly_colored_;
   }
   const std::vector<std::int64_t>& delivers() const { return delivers_; }
+  const std::vector<std::int64_t>& lost() const { return lost_; }
   const std::vector<std::int64_t>& sends_total() const { return sends_total_; }
   const std::vector<std::int64_t>& sends(Phase p) const {
     return sends_by_phase_[static_cast<int>(p)];
@@ -61,6 +64,7 @@ class StepSeries final : public TraceSink {
   std::vector<std::int64_t> sends_total_;
   std::vector<std::int64_t> sends_by_phase_[kPhaseCount];
   std::vector<std::int64_t> delivers_;
+  std::vector<std::int64_t> lost_;
   std::vector<std::int64_t> new_ring_senders_;
   std::vector<std::uint8_t> ring_seen_;  // indexed by node id
 };

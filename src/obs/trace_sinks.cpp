@@ -219,8 +219,12 @@ bool ChromeTraceSink::close() {
         w.kv("ph", "i");  // instant event
         w.kv("s", "t");
         w.kv("name", trace_kind_name(ev.kind));
-        w.kv("cat", "lifecycle");
-        if (ev.kind == TraceEvent::Kind::kFail) w.kv("cname", "terrible");
+        w.kv("cat", ev.kind == TraceEvent::Kind::kLost ? "fault" : "lifecycle");
+        if (ev.kind == TraceEvent::Kind::kFail ||
+            ev.kind == TraceEvent::Kind::kLost)
+          w.kv("cname", "terrible");
+        else if (ev.kind == TraceEvent::Kind::kRestart)
+          w.kv("cname", "good");
         break;
       }
     }

@@ -75,6 +75,10 @@ inline constexpr int kMaxKnownF = 7;
 struct Message {
   Tag tag = Tag::kGossip;
   std::uint8_t known_count = 0;
+  /// Set by the reliable-delivery sublayer on retransmitted copies; counted
+  /// as msgs_retrans.  Not part of the canonical rx order - a retransmit is
+  /// content-identical to (interchangeable with) its original.
+  std::uint8_t retrans = 0;
   NodeId src = kNoNode;
   /// Virtual time counter (gossip) or generation/epoch (BFB restarts).
   Step time = 0;

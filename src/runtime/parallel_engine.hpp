@@ -76,6 +76,9 @@ class ParallelEngine {
     }
     void ctx_complete(NodeId i) { eng->do_complete(worker, i); }
     bool ctx_colored(NodeId i) const { return eng->store_.colored(i); }
+    void ctx_note_dropped(NodeId) {
+      eng->workers_[static_cast<std::size_t>(worker)].counts.add_dropped();
+    }
   };
   using Ctx = BasicCtx<WorkerView>;
 
@@ -101,6 +104,7 @@ class ParallelEngine {
     std::int64_t active_delta = 0;     // activations - completions this step
     std::int64_t sent = 0;             // messages staged this step
     std::int64_t delivered = 0;        // messages consumed this step
+    std::int64_t revived = 0;          // restarts applied this step
     MessageCounts counts;              // merged into metrics at the end
     std::vector<TraceEvent> trace;     // merged in worker order per step
     // Self-profiling (RunConfig::profile): per-worker callback counts and
@@ -117,12 +121,15 @@ class ParallelEngine {
     CG_CHECK_MSG(to != from, "node sent a message to itself");
     auto& ws = workers_[static_cast<std::size_t>(worker)];
     gate_.on_send(from, step_);
-    ws.counts.add(m.tag);
+    ws.counts.add(m);
     if (cfg_.trace != nullptr)
       trace(worker, {step_, TraceEvent::Kind::kSend, from, to, m.tag});
 
     const Step at = net_.route(from, to, step_);
-    if (at == NetworkModel::kLost) return;  // lost on the wire (counted)
+    if (at == NetworkModel::kLost) {  // lost on the wire (counted)
+      trace(worker, {step_, TraceEvent::Kind::kLost, from, to, m.tag});
+      return;
+    }
 
     Message out = m;
     out.src = from;
@@ -223,11 +230,13 @@ class ParallelEngine {
   NodeStateStore store_;
   SendGate gate_;
   std::vector<Step> crash_at_;
+  std::vector<Step> restart_up_;              // revive step per node (kNever)
   std::vector<std::vector<TimedMsg>> queue_;  // per-node pending deliveries
   std::vector<std::deque<Message>> inbox_;    // kOnePerStep only
   std::vector<WorkerState> workers_;
   std::int64_t active_count_ = 0;
   std::int64_t in_flight_ = 0;
+  std::int64_t pending_restarts_ = 0;
   bool stop_ = false;
   RunMetrics metrics_{};
 };
@@ -246,6 +255,7 @@ RunMetrics ParallelEngine<Node>::run() {
   store_.reset(cfg_.n);
   gate_.reset(cfg_.n);
   crash_at_.assign(n, kNever);
+  restart_up_.assign(n, kNever);
   queue_.assign(n, {});
   if (cfg_.rx == RxPolicy::kOnePerStep) inbox_.assign(n, {});
   workers_.assign(static_cast<std::size_t>(threads_), WorkerState{});
@@ -253,12 +263,19 @@ RunMetrics ParallelEngine<Node>::run() {
   step_ = 0;
   active_count_ = 0;
   in_flight_ = 0;
+  pending_restarts_ = 0;
   stop_ = false;
 
   for (const NodeId i : cfg_.failures.pre_failed) store_.pre_fail(i);
   for (const auto& of : cfg_.failures.online)
     crash_at_[static_cast<std::size_t>(of.node)] =
         std::min(crash_at_[static_cast<std::size_t>(of.node)], of.at_step);
+  for (const auto& r : cfg_.failures.restarts) {
+    const auto idx = static_cast<std::size_t>(r.node);
+    crash_at_[idx] = std::min(crash_at_[idx], r.down_at);
+    restart_up_[idx] = r.up_at;
+    ++pending_restarts_;
+  }
   CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
 
   EngineProfile* prof = cfg_.profile;
@@ -287,13 +304,18 @@ RunMetrics ParallelEngine<Node>::run() {
     for (auto& ws : workers_) {
       active_count_ += ws.active_delta;
       in_flight_ += ws.sent - ws.delivered;
+      pending_restarts_ -= ws.revived;
       ws.active_delta = 0;
       ws.sent = 0;
       ws.delivered = 0;
+      ws.revived = 0;
     }
     flush_traces();
     ++step_;
-    if ((active_count_ == 0 && in_flight_ == 0) || step_ >= max_steps) {
+    // Pending revivals are outstanding work (the other engines reach every
+    // scheduled restart before terminating; see sim/engine.hpp).
+    if ((active_count_ == 0 && in_flight_ == 0 && pending_restarts_ == 0) ||
+        step_ >= max_steps) {
       if (step_ >= max_steps) metrics_.hit_max_steps = true;
       stop_ = true;
     }
@@ -318,6 +340,16 @@ RunMetrics ParallelEngine<Node>::run() {
           const auto t = store_.kill(i);
           if (t.was_active) --ws.active_delta;
           trace(w, {s, TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
+        }
+        if (restart_up_[idx] <= s && store_.revive(i)) {
+          // Fresh protocol instance, passive until its first receive (no
+          // on_start) - node i is owned by this worker, so the swap is
+          // race-free.  Clear crash_at_ so the node is not re-killed.
+          nodes_[idx] = Node(params_, i, cfg_.n);
+          crash_at_[idx] = kNever;
+          restart_up_[idx] = kNever;
+          ++ws.revived;
+          trace(w, {s, TraceEvent::Kind::kRestart, i, kNoNode, Tag::kGossip});
         }
         // Fast path: nothing pending for this node (the common case).
         if (!queue_[idx].empty() || (one_per_step && !inbox_[idx].empty()))

@@ -76,6 +76,7 @@ class AsyncEngine {
       trace({step_now(), TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
   }
   bool ctx_colored(NodeId i) const { return store_.colored(i); }
+  void ctx_note_dropped(NodeId) { counts_.add_dropped(); }
 
  private:
   // Phases within a step (internal time = step * kPhases + phase).  Keeping
@@ -93,12 +94,15 @@ class AsyncEngine {
     CG_CHECK_MSG(to != from, "node sent a message to itself");
     const Step now = step_now();
     gate_.on_send(from, now);
-    counts_.add(m.tag);
+    counts_.add(m);
     if (cfg_.trace != nullptr)
       trace({now, TraceEvent::Kind::kSend, from, to, m.tag});
 
     const Step at = net_.route(from, to, now);
-    if (at == NetworkModel::kLost) return;  // lost on the wire (counted)
+    if (at == NetworkModel::kLost) {  // lost on the wire (counted)
+      trace({now, TraceEvent::Kind::kLost, from, to, m.tag});
+      return;
+    }
 
     Message out = m;
     out.src = from;
@@ -183,6 +187,16 @@ class AsyncEngine {
       trace({step_now(), TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
   }
 
+  void revive(NodeId i) {
+    if (!store_.revive(i)) return;
+    // Fresh protocol instance; passive until its first receive (no
+    // on_start).  Clearing crash_at_ lets post-restart activation ticks
+    // run instead of re-killing the node.
+    nodes_[static_cast<std::size_t>(i)] = Node(params_, i, cfg_.n);
+    crash_at_[static_cast<std::size_t>(i)] = kNever;
+    trace({step_now(), TraceEvent::Kind::kRestart, i, kNoNode, Tag::kGossip});
+  }
+
   void trace(TraceEvent ev) {
     if (cfg_.trace != nullptr) cfg_.trace->on_event(ev);
   }
@@ -241,6 +255,17 @@ RunMetrics AsyncEngine<Node>::run() {
     q_.schedule_at(std::max<Step>(of.at_step, 0) * kPhases + kPhaseArrive,
                    [this, node = of.node] { kill(node); });
   }
+  // Restart downs after online crashes, revivals after all crashes - the
+  // same same-step order the stepped engine applies.
+  for (const auto& r : cfg_.failures.restarts) {
+    auto& c = crash_at_[static_cast<std::size_t>(r.node)];
+    c = std::min(c, r.down_at);
+    q_.schedule_at(std::max<Step>(r.down_at, 0) * kPhases + kPhaseArrive,
+                   [this, node = r.node] { kill(node); });
+  }
+  for (const auto& r : cfg_.failures.restarts)
+    q_.schedule_at(r.up_at * kPhases + kPhaseArrive,
+                   [this, node = r.node] { revive(node); });
 
   EngineProfile* prof = cfg_.profile;
   if (prof != nullptr) *prof = EngineProfile{};

@@ -14,6 +14,7 @@
 //   void ctx_deliver(NodeId self);
 //   void ctx_complete(NodeId self);
 //   bool ctx_colored(NodeId self) const;
+//   void ctx_note_dropped(NodeId self);
 //
 // The host is the engine itself (serial, event-driven) or a per-worker view
 // of it (parallel), so engine-specific bookkeeping stays in the engine while
@@ -56,6 +57,11 @@ class BasicCtx {
   void complete() { host_->ctx_complete(self_); }
 
   bool colored() const { return host_->ctx_colored(self_); }
+
+  /// Record a message this node intentionally discarded under backpressure
+  /// (e.g. a pull request beyond the answer-backlog cap).  Feeds the
+  /// msgs_dropped metric; does not count as a send.
+  void note_dropped() { host_->ctx_note_dropped(self_); }
 
  private:
   HostT* host_;

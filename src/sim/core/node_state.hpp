@@ -90,6 +90,21 @@ class NodeStateStore {
     return {true, st == NodeRunState::kActive};
   }
 
+  /// Crash-restart rejoin: a DEAD node comes back alive, Idle and with
+  /// every timestamp cleared - it re-enters the run as if it had never
+  /// participated (its protocol object is reconstructed by the engine).
+  /// Returns true if the node was dead and is now revived.
+  bool revive(NodeId i) {
+    if (alive_[idx(i)] != 0) return false;
+    alive_[idx(i)] = 1;
+    state_[idx(i)] = NodeRunState::kIdle;
+    colored_at_[idx(i)] = kNever;
+    delivered_at_[idx(i)] = kNever;
+    completed_at_[idx(i)] = kNever;
+    activated_at_[idx(i)] = kNever;
+    return true;
+  }
+
   /// Record payload receipt; returns true the first time only.
   bool mark_colored(NodeId i, Step now) {
     auto& c = colored_at_[idx(i)];

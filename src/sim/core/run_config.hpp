@@ -10,6 +10,9 @@
 
 #include "sim/core/profile.hpp"
 #include "sim/failure.hpp"
+#include "sim/fault/burst_loss.hpp"
+#include "sim/fault/partition.hpp"
+#include "sim/fault/stragglers.hpp"
 #include "sim/logp.hpp"
 #include "sim/trace.hpp"
 
@@ -48,8 +51,16 @@ struct RunConfig {
   /// Model extension: each message is lost independently with this
   /// probability (the paper assumes reliable channels; the ablation shows
   /// which guarantees survive when that assumption breaks).  Lost messages
-  /// still count as sent work.
+  /// still count as sent work.  1.0 is allowed (blackhole links - every
+  /// message is lost); validate with cg::config_error() before running.
   double drop_prob = 0.0;
+  /// Fault model: Gilbert-Elliott correlated burst loss per sender,
+  /// applied on top of (after) the i.i.d. drop_prob draw.
+  BurstLoss burst{};
+  /// Fault model: per-node send-delay multipliers (slow NICs).
+  std::vector<Straggler> stragglers;
+  /// Fault model: transient bidirectional partitions.
+  std::vector<PartitionWindow> partitions;
 
   Step effective_max_steps() const {
     return max_steps > 0

@@ -96,6 +96,7 @@ class Engine {
     trace({step_, TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
   }
   bool ctx_colored(NodeId i) const { return store_.colored(i); }
+  void ctx_note_dropped(NodeId) { counts_.add_dropped(); }
 
  private:
   struct Delivery {
@@ -105,6 +106,7 @@ class Engine {
 
   void do_send(NodeId from, NodeId to, const Message& m);
   void apply_failure(NodeId i);
+  void apply_restart(NodeId i);
   void dispatch(NodeId to, const Message& m);
   void trace(TraceEvent ev) {
     if (cfg_.trace != nullptr) cfg_.trace->on_event(ev);
@@ -140,12 +142,15 @@ void Engine<Node>::do_send(NodeId from, NodeId to, const Message& m) {
   CG_CHECK(to >= 0 && to < cfg_.n);
   CG_CHECK_MSG(to != from, "node sent a message to itself");
   gate_.on_send(from, step_);
-  counts_.add(m.tag);
+  counts_.add(m);
   if (cfg_.trace != nullptr)
     trace({step_, TraceEvent::Kind::kSend, from, to, m.tag});
 
   const Step at = net_.route(from, to, step_);
-  if (at == NetworkModel::kLost) return;  // lost on the wire (counted as work)
+  if (at == NetworkModel::kLost) {  // lost on the wire (counted as work)
+    trace({step_, TraceEvent::Kind::kLost, from, to, m.tag});
+    return;
+  }
 
   Message out = m;
   out.src = from;
@@ -161,6 +166,16 @@ void Engine<Node>::apply_failure(NodeId i) {
   if (!t.changed) return;
   if (t.was_active) --active_count_;
   trace({step_, TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
+}
+
+template <class Node>
+void Engine<Node>::apply_restart(NodeId i) {
+  if (!store_.revive(i)) return;
+  // The rejoined node runs a FRESH protocol instance: uncolored, Idle,
+  // passive until its first receive (we do not re-run on_start; the
+  // broadcast started without it).
+  nodes_[static_cast<std::size_t>(i)] = Node(params_, i, cfg_.n);
+  trace({step_, TraceEvent::Kind::kRestart, i, kNoNode, Tag::kGossip});
 }
 
 template <class Node>
@@ -205,13 +220,22 @@ RunMetrics Engine<Node>::run() {
   for (const NodeId i : cfg_.failures.pre_failed) store_.pre_fail(i);
   CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
 
-  // Sort online failures by time for in-order application.
+  // Sort crash events (online failures + restart downs, in that order for
+  // same-step determinism across engines) and revivals by time.
   auto online = cfg_.failures.online;
-  std::sort(online.begin(), online.end(),
-            [](const OnlineFailure& a, const OnlineFailure& b) {
-              return a.at_step < b.at_step;
-            });
+  for (const auto& r : cfg_.failures.restarts)
+    online.push_back({r.node, r.down_at});
+  std::stable_sort(online.begin(), online.end(),
+                   [](const OnlineFailure& a, const OnlineFailure& b) {
+                     return a.at_step < b.at_step;
+                   });
   std::size_t next_failure = 0;
+  auto revives = cfg_.failures.restarts;
+  std::stable_sort(revives.begin(), revives.end(),
+                   [](const Restart& a, const Restart& b) {
+                     return a.up_at < b.up_at;
+                   });
+  std::size_t next_revive = 0;
 
   EngineProfile* prof = cfg_.profile;
   if (prof != nullptr) *prof = EngineProfile{};
@@ -230,7 +254,10 @@ RunMetrics Engine<Node>::run() {
 
   const Step max_steps = cfg_.effective_max_steps();
   std::vector<Delivery> due;  // scratch
-  while (active_count_ > 0 || in_flight_ > 0) {
+  // Pending revivals count as outstanding work: the run must reach every
+  // scheduled restart so all engines agree on the final population (the
+  // event-driven engine drains its queue and would revive regardless).
+  while (active_count_ > 0 || in_flight_ > 0 || next_revive < revives.size()) {
     if (step_ >= max_steps) {
       metrics_.hit_max_steps = true;
       break;
@@ -239,10 +266,14 @@ RunMetrics Engine<Node>::run() {
     auto prof_phase0 = prof != nullptr ? ProfileClock::now()
                                        : ProfileClock::TimePoint{};
 
-    // 1. crash failures scheduled at or before this step
+    // 1. crash failures scheduled at or before this step, then revivals
     while (next_failure < online.size() && online[next_failure].at_step <= step_) {
       apply_failure(online[next_failure].node);
       ++next_failure;
+    }
+    while (next_revive < revives.size() && revives[next_revive].up_at <= step_) {
+      apply_restart(revives[next_revive].node);
+      ++next_revive;
     }
 
     // 2. deliveries scheduled for this step

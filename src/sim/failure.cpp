@@ -38,6 +38,30 @@ FailureSchedule FailureSchedule::random(NodeId n, int n_pre, int n_online,
   return fs;
 }
 
+void FailureSchedule::add_random_restarts(NodeId n, int count, Step horizon,
+                                          Step outage, Xoshiro256& rng,
+                                          NodeId root) {
+  CG_CHECK(count >= 0);
+  CG_CHECK(outage >= 1);
+  std::unordered_set<NodeId> used;
+  used.insert(root);
+  for (const NodeId i : pre_failed) used.insert(i);
+  for (const auto& of : online) used.insert(of.node);
+  for (const auto& r : restarts) used.insert(r.node);
+  CG_CHECK_MSG(static_cast<NodeId>(used.size()) + count <= n,
+               "more restarts requested than schedulable nodes");
+  restarts.reserve(restarts.size() + static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    NodeId node;
+    for (;;) {
+      node = static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(n)));
+      if (used.insert(node).second) break;
+    }
+    const Step down = horizon > 1 ? rng.uniform(0, horizon - 1) : 0;
+    restarts.push_back({node, down, down + outage});
+  }
+}
+
 FailureSchedule FailureSchedule::contiguous(NodeId n, NodeId first, int count,
                                             Step at_step) {
   CG_CHECK(n >= 1 && count >= 0 && count < n);

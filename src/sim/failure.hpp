@@ -16,13 +16,28 @@ struct OnlineFailure {
   Step at_step = 0;  ///< node performs no action at or after this step
 };
 
+/// Crash-restart: the node crashes at down_at and returns at up_at with its
+/// protocol state RESET (fresh Node object, uncolored, Idle).  Messages in
+/// flight towards it when it crashed may still arrive after the restart -
+/// a rebooted host keeps its address.  A node restarts at most once per
+/// run and must not also appear in pre_failed/online.
+struct Restart {
+  NodeId node = kNoNode;
+  Step down_at = 0;  ///< crash step (same semantics as OnlineFailure)
+  Step up_at = 0;    ///< first step the node is alive again (> down_at)
+};
+
 struct FailureSchedule {
   /// Nodes inactive before the broadcast starts (set F at t=0).
   std::vector<NodeId> pre_failed;
   /// Nodes that crash while the algorithm runs.
   std::vector<OnlineFailure> online;
+  /// Nodes that crash and later rejoin uncolored.
+  std::vector<Restart> restarts;
 
-  bool empty() const { return pre_failed.empty() && online.empty(); }
+  bool empty() const {
+    return pre_failed.empty() && online.empty() && restarts.empty();
+  }
 
   std::size_t online_count() const { return online.size(); }
 
@@ -41,6 +56,12 @@ struct FailureSchedule {
   /// survivors must cover.
   static FailureSchedule contiguous(NodeId n, NodeId first, int count,
                                     Step at_step = -1);
+
+  /// Add `count` distinct crash-restart entries (disjoint from the nodes
+  /// already scheduled here; the root is excluded).  Each node goes down at
+  /// a uniform step in [0, horizon) and returns `outage` steps later.
+  void add_random_restarts(NodeId n, int count, Step horizon, Step outage,
+                           Xoshiro256& rng, NodeId root = 0);
 
   /// Expected number of node failures in a `job_hours`-long job on `n` nodes
   /// with the given per-node MTBF (paper Section IV-C:

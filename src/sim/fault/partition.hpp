@@ -1,0 +1,50 @@
+// Transient bidirectional network partitions.
+//
+// During [from, until) the member set is unreachable from the rest of the
+// system in BOTH directions: any message routed across the boundary while
+// the window is open is lost on the wire (and shows up as a kLost trace
+// event).  Messages already in flight when the window opens still arrive -
+// the partition models a forwarding outage, not queue truncation.
+// Deterministic: membership is a pure function of the config; no RNG is
+// consumed, so partitions never perturb the loss/jitter streams.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+struct PartitionWindow {
+  Step from = 0;   ///< first step the partition is up
+  Step until = 0;  ///< first step it is healed again (half-open window)
+  std::vector<NodeId> members;  ///< one side of the cut
+
+  bool active_at(Step now) const { return now >= from && now < until; }
+};
+
+/// Sample a partition of `size` distinct nodes (root excluded so the
+/// broadcast can start) over the given window.
+inline PartitionWindow random_partition(NodeId n, int size, Step from,
+                                        Step until, Xoshiro256& rng,
+                                        NodeId root = 0) {
+  CG_CHECK(size >= 0 && size < n);
+  PartitionWindow pw;
+  pw.from = from;
+  pw.until = until;
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(n), 0);
+  used[static_cast<std::size_t>(root)] = 1;
+  pw.members.reserve(static_cast<std::size_t>(size));
+  while (static_cast<int>(pw.members.size()) < size) {
+    const auto cand =
+        static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (used[static_cast<std::size_t>(cand)] != 0) continue;
+    used[static_cast<std::size_t>(cand)] = 1;
+    pw.members.push_back(cand);
+  }
+  return pw;
+}
+
+}  // namespace cg

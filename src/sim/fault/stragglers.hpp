@@ -1,0 +1,44 @@
+// Straggler injection: per-node send-slot slowdown.
+//
+// A straggler's messages take `factor` times the LogP base delay to reach
+// their destination (its NIC/OS is slow to get bytes on the wire), while
+// the node itself still ticks on the global step clock.  This models the
+// classic "one slow node stretches the tail" pathology without changing
+// any protocol's step arithmetic.  Deterministic: the factor is a pure
+// per-node constant; no RNG is consumed.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cg {
+
+struct Straggler {
+  NodeId node = kNoNode;
+  Step factor = 2;  ///< multiplies the LogP base delay of this node's sends
+};
+
+/// Sample `count` distinct stragglers (root excluded) with a common factor.
+inline std::vector<Straggler> random_stragglers(NodeId n, int count,
+                                                Step factor, Xoshiro256& rng,
+                                                NodeId root = 0) {
+  CG_CHECK(count >= 0 && count < n);
+  CG_CHECK(factor >= 1);
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(n), 0);
+  used[static_cast<std::size_t>(root)] = 1;
+  std::vector<Straggler> out;
+  out.reserve(static_cast<std::size_t>(count));
+  while (static_cast<int>(out.size()) < count) {
+    const auto cand =
+        static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (used[static_cast<std::size_t>(cand)] != 0) continue;
+    used[static_cast<std::size_t>(cand)] = 1;
+    out.push_back({cand, factor});
+  }
+  return out;
+}
+
+}  // namespace cg

@@ -1,0 +1,94 @@
+#include "sim/fault/validate.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cg {
+
+namespace {
+
+std::string err(const char* fmt, long long a = 0, long long b = 0) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+bool in_range(NodeId i, NodeId n) { return i >= 0 && i < n; }
+
+bool prob(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+std::string config_error(const RunConfig& cfg) {
+  if (cfg.n < 1) return err("n must be >= 1 (got %lld)", cfg.n);
+  if (!in_range(cfg.root, cfg.n))
+    return err("root %lld out of range [0, %lld)", cfg.root, cfg.n);
+  if (!prob(cfg.drop_prob))
+    return "drop_prob must be in [0, 1] (1.0 = blackhole links)";
+  if (cfg.jitter_max < 0) return "jitter_max must be >= 0";
+  if (cfg.link_extra_max < 0) return "link_extra_max must be >= 0";
+
+  const auto& b = cfg.burst;
+  if (!prob(b.p_good_bad) || !prob(b.p_bad_good) || !prob(b.loss_good) ||
+      !prob(b.loss_bad))
+    return "burst-loss probabilities must be in [0, 1]";
+  if (b.enabled() && b.p_bad_good <= 0.0)
+    return "burst loss enabled but p_bad_good == 0: bursts would never end";
+
+  // Failure schedule: every node in range, each node crashed at most once
+  // across pre_failed / online / restarts, root never scheduled, restart
+  // windows non-empty.
+  std::unordered_set<NodeId> crashed;
+  auto claim = [&](NodeId i) { return crashed.insert(i).second; };
+  for (const NodeId i : cfg.failures.pre_failed) {
+    if (!in_range(i, cfg.n))
+      return err("pre_failed node %lld out of range", i);
+    if (i == cfg.root) return "root cannot be pre-failed";
+    if (!claim(i)) return err("node %lld scheduled to fail twice", i);
+  }
+  for (const auto& of : cfg.failures.online) {
+    if (!in_range(of.node, cfg.n))
+      return err("online-failure node %lld out of range", of.node);
+    if (of.at_step < 0) return "online failure at negative step";
+    if (!claim(of.node))
+      return err("node %lld scheduled to fail twice", of.node);
+  }
+  for (const auto& r : cfg.failures.restarts) {
+    if (!in_range(r.node, cfg.n))
+      return err("restart node %lld out of range", r.node);
+    if (r.node == cfg.root) return "root cannot restart";
+    if (r.down_at < 0) return "restart down_at must be >= 0";
+    if (r.up_at <= r.down_at)
+      return err("restart of node %lld has up_at <= down_at", r.node);
+    if (!claim(r.node))
+      return err("node %lld scheduled to fail twice", r.node);
+  }
+
+  std::unordered_set<NodeId> straggling;
+  for (const auto& s : cfg.stragglers) {
+    if (!in_range(s.node, cfg.n))
+      return err("straggler node %lld out of range", s.node);
+    if (s.factor < 1)
+      return err("straggler factor must be >= 1 (node %lld)", s.node);
+    if (!straggling.insert(s.node).second)
+      return err("node %lld listed as straggler twice", s.node);
+  }
+
+  for (const auto& pw : cfg.partitions) {
+    if (pw.from < 0 || pw.until <= pw.from)
+      return "partition window must satisfy 0 <= from < until";
+    std::unordered_set<NodeId> members;
+    for (const NodeId i : pw.members) {
+      if (!in_range(i, cfg.n))
+        return err("partition member %lld out of range", i);
+      if (!members.insert(i).second)
+        return err("partition lists node %lld twice", i);
+    }
+  }
+
+  if (cfg.max_steps < 0) return "max_steps must be >= 0 (0 = auto)";
+  return {};
+}
+
+}  // namespace cg

@@ -1,0 +1,21 @@
+// RunConfig validation: turn bad fault/network parameters into a readable
+// error message instead of a mid-run CG_CHECK abort.
+//
+// The harness (run_once) checks this before constructing an engine, and
+// the example drivers surface the message on stderr with a clean exit, so
+// a typo'd --drop-prob=1.3 or an overlapping crash/restart schedule fails
+// fast with an explanation.  Values that are unusual but meaningful - e.g.
+// drop_prob == 1.0 (blackhole links) - validate fine.
+#pragma once
+
+#include <string>
+
+#include "sim/core/run_config.hpp"
+
+namespace cg {
+
+/// Empty string when `cfg` is well-formed; otherwise a one-line description
+/// of the first problem found.
+std::string config_error(const RunConfig& cfg);
+
+}  // namespace cg

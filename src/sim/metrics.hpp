@@ -30,6 +30,10 @@ struct RunMetrics {
   std::int64_t msgs_correction = 0;  ///< OCG/CCG/FCG ring messages
   std::int64_t msgs_sos = 0;
   std::int64_t msgs_tree = 0;        ///< BIG/BFB tree + ack/nack messages
+  std::int64_t msgs_retrans = 0;     ///< reliable-sublayer retransmissions
+                                     ///< (already included in msgs_total)
+  std::int64_t msgs_dropped = 0;     ///< protocol-level backpressure drops
+                                     ///< (e.g. pull-request backlog overflow)
 
   // --- flags ------------------------------------------------------------
   bool all_active_colored = false;

@@ -12,6 +12,8 @@ const char* trace_kind_name(TraceEvent::Kind k) {
     case TraceEvent::Kind::kDelivered: return "delivered";
     case TraceEvent::Kind::kComplete: return "complete";
     case TraceEvent::Kind::kFail: return "fail";
+    case TraceEvent::Kind::kRestart: return "restart";
+    case TraceEvent::Kind::kLost: return "lost";
   }
   return "?";
 }
@@ -32,10 +34,12 @@ std::string VectorTrace::to_string() const {
   char buf[128];
   for (const auto& ev : events_) {
     int n = 0;
-    if (ev.kind == TraceEvent::Kind::kSend || ev.kind == TraceEvent::Kind::kDeliver) {
+    if (ev.kind == TraceEvent::Kind::kSend ||
+        ev.kind == TraceEvent::Kind::kDeliver ||
+        ev.kind == TraceEvent::Kind::kLost) {
       n = std::snprintf(buf, sizeof(buf), "t=%3lld  %-9s node %3d %s node %3d  [%s]\n",
                         static_cast<long long>(ev.step), trace_kind_name(ev.kind),
-                        ev.node, ev.kind == TraceEvent::Kind::kSend ? "->" : "<-",
+                        ev.node, ev.kind == TraceEvent::Kind::kDeliver ? "<-" : "->",
                         ev.peer, tag_name(ev.tag));
     } else {
       n = std::snprintf(buf, sizeof(buf), "t=%3lld  %-9s node %3d\n",

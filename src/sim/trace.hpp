@@ -19,6 +19,8 @@ struct TraceEvent {
     kDelivered, ///< node formally delivered (FCG semantics)
     kComplete,  ///< node exited the algorithm
     kFail,      ///< node crashed
+    kRestart,   ///< node returned from a crash (uncolored, protocol reset)
+    kLost,      ///< message from node to peer lost on the wire
   };
 
   Step step = 0;
@@ -34,7 +36,7 @@ struct TraceEvent {
 };
 
 /// Number of TraceEvent::Kind values (for per-kind counter arrays).
-inline constexpr int kTraceKindCount = 6;
+inline constexpr int kTraceKindCount = 8;
 
 const char* trace_kind_name(TraceEvent::Kind k);
 

@@ -113,6 +113,32 @@ TEST(CcgAdversarial, KillAtEveryStepStillTerminates) {
   }
 }
 
+TEST(FaultAdversarial, FullFaultStackNeverHangs) {
+  // Liveness under everything at once: heavy burst loss, an online crash,
+  // a crash-restart, a straggler and a transient partition - with and
+  // without retransmission (whose bounded retries must drain, not spin).
+  for (const Algo algo : {Algo::kCcg, Algo::kFcg}) {
+    for (const bool reliable : {false, true}) {
+      RunConfig cfg;
+      cfg.n = 64;
+      cfg.logp = LogP::unit();
+      cfg.seed = 6;
+      cfg.burst = BurstLoss::from_rate(0.2, 6);
+      cfg.failures.online.push_back({21, 8});
+      cfg.failures.restarts.push_back({33, 10, 18});
+      cfg.stragglers.push_back({17, 4});
+      cfg.partitions.push_back({6, 14, {40, 41, 42}});
+      AlgoConfig acfg;
+      acfg.T = 10;
+      acfg.fcg_f = 1;
+      acfg.reliable.enabled = reliable;
+      const RunMetrics m = run_once(algo, acfg, cfg);
+      ASSERT_FALSE(m.hit_max_steps)
+          << algo_name(algo) << " reliable=" << reliable;
+    }
+  }
+}
+
 // ------------------------------------------------ contract death tests --
 
 /// A deliberately broken protocol that sends to itself.
@@ -179,6 +205,24 @@ TEST(EngineContractDeathTest, DoubleSendAborts) {
         eng.run();
       },
       ">1 message in one step");
+}
+
+TEST(EngineContractDeathTest, InvalidFaultConfigAbortsWithExplanation) {
+  // run_once validates via config_error() before building an engine, so a
+  // malformed fault setup dies with the human-readable message (the
+  // example drivers surface the same string on stderr instead of dying).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RunConfig cfg;
+  cfg.n = 8;
+  cfg.logp = LogP::unit();
+  cfg.drop_prob = 1.5;
+  EXPECT_DEATH(run_once(Algo::kCcg, {}, cfg), "drop_prob");
+
+  RunConfig cfg2;
+  cfg2.n = 8;
+  cfg2.logp = LogP::unit();
+  cfg2.failures.restarts.push_back({3, 9, 4});
+  EXPECT_DEATH(run_once(Algo::kCcg, {}, cfg2), "up_at");
 }
 
 TEST(EngineContractDeathTest, RootMustBeAliveAtStart) {

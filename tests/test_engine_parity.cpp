@@ -32,6 +32,8 @@ void expect_same(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.msgs_correction, b.msgs_correction);
   EXPECT_EQ(a.msgs_sos, b.msgs_sos);
   EXPECT_EQ(a.msgs_tree, b.msgs_tree);
+  EXPECT_EQ(a.msgs_retrans, b.msgs_retrans);
+  EXPECT_EQ(a.msgs_dropped, b.msgs_dropped);
   EXPECT_EQ(a.t_last_colored, b.t_last_colored);
   EXPECT_EQ(a.t_last_colored_partial, b.t_last_colored_partial);
   EXPECT_EQ(a.t_last_delivered, b.t_last_delivered);
@@ -56,6 +58,27 @@ RunConfig harsh_cfg(std::uint64_t seed, RxPolicy rx) {
   cfg.failures.pre_failed = {5};
   cfg.failures.online.push_back({20, 9});
   cfg.failures.online.push_back({71, 15});
+  return cfg;
+}
+
+// Every fault model from src/sim/fault/ at once: Gilbert-Elliott burst
+// loss, a crash-restart, stragglers and a transient partition, stacked on
+// jitter and i.i.d. loss.  The burst chains consume a dedicated per-sender
+// RNG stream advanced per STEP, so engine scheduling must not perturb it.
+RunConfig faulty_cfg(std::uint64_t seed, RxPolicy rx) {
+  RunConfig cfg;
+  cfg.n = 120;
+  cfg.logp = LogP::piz_daint();
+  cfg.seed = seed;
+  cfg.rx = rx;
+  cfg.jitter_max = 1;
+  cfg.drop_prob = 0.01;
+  cfg.burst = BurstLoss::from_rate(0.05, 4);
+  cfg.failures.online.push_back({60, 14});
+  cfg.failures.restarts.push_back({25, 10, 26});
+  cfg.stragglers.push_back({11, 3});
+  cfg.stragglers.push_back({40, 2});
+  cfg.partitions.push_back({12, 20, {33, 34, 35, 36}});
   return cfg;
 }
 
@@ -97,6 +120,70 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(Algo::kGos, Algo::kOcg, Algo::kCcg, Algo::kFcg),
         ::testing::Values<std::uint64_t>(1, 7, 13),
         ::testing::Values(RxPolicy::kDrainAll, RxPolicy::kOnePerStep)));
+
+// The same parity statement over the full fault stack - burst loss,
+// crash-restart, stragglers, partition - with and without the
+// ack/retransmit sublayer.  This is the determinism contract for the
+// fault RNG streams: a fault outcome is a pure function of (config, seed),
+// never of engine scheduling.
+class EnginesAgreeOnFaults
+    : public ::testing::TestWithParam<
+          std::tuple<Algo, std::uint64_t, RxPolicy, bool>> {};
+
+TEST_P(EnginesAgreeOnFaults, FullFaultStack) {
+  const auto [algo, seed, rx, reliable] = GetParam();
+  const RunConfig cfg = faulty_cfg(seed, rx);
+  AlgoConfig acfg = algo_cfg(algo);
+  acfg.reliable.enabled = reliable;
+
+  const RunMetrics serial =
+      run_once(algo, acfg, cfg, {EngineKind::kStepped, 1});
+  const RunMetrics async = run_once(algo, acfg, cfg, {EngineKind::kAsync, 1});
+  const RunMetrics par3 =
+      run_once(algo, acfg, cfg, {EngineKind::kParallel, 3});
+
+  SCOPED_TRACE(algo_name(algo));
+  expect_same(serial, async);
+  expect_same(serial, par3);
+  if (reliable) {
+    EXPECT_GT(serial.msgs_retrans, 0);  // bursts force retries
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EnginesAgreeOnFaults,
+    ::testing::Combine(::testing::Values(Algo::kCcg, Algo::kFcg),
+                       ::testing::Values<std::uint64_t>(3, 29),
+                       ::testing::Values(RxPolicy::kDrainAll,
+                                         RxPolicy::kOnePerStep),
+                       ::testing::Bool()));
+
+// Acceptance check for the fault layer: the canonically sorted JSONL trace
+// of a run under every fault model at once - including kLost and kRestart
+// events - is BYTE-IDENTICAL across all three engines.
+TEST(EngineParity, FaultTraceJsonlIsByteIdenticalAcrossEngines) {
+  AlgoConfig acfg = algo_cfg(Algo::kCcg);
+  acfg.reliable.enabled = true;
+  const RunConfig base = faulty_cfg(19, RxPolicy::kOnePerStep);
+
+  auto canonical_jsonl = [&](EngineKind kind, int threads) {
+    VectorTrace trace;
+    RunConfig cfg = base;
+    cfg.trace = &trace;
+    run_once(Algo::kCcg, acfg, cfg, {kind, threads});
+    std::vector<TraceEvent> events = trace.events();
+    obs::canonical_sort(events);
+    return obs::to_jsonl(events);
+  };
+
+  const std::string serial = canonical_jsonl(EngineKind::kStepped, 1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("\"lost\""), std::string::npos);
+  EXPECT_NE(serial.find("\"restart\""), std::string::npos);
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kAsync, 1));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 2));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 5));
+}
 
 // Node-level agreement: with record_node_detail every per-node coloring /
 // delivery / completion step must match bit-for-bit across engines.

@@ -5,6 +5,8 @@
 // Eq. 3/4/5 optima, and Table 7's headline orderings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/baseline_models.hpp"
 #include "analysis/coloring.hpp"
 #include "analysis/fcg_bound.hpp"
@@ -125,9 +127,14 @@ TEST(PaperCorollary3, FcgWithstandsAnyFailuresBeforeOrDuringGossip) {
   cfg.seed = 77;
   Xoshiro256 frng(99);
   cfg.failures = FailureSchedule::random(cfg.n, 20, 0, 0, frng);
-  for (int k = 0; k < 10; ++k)  // 10 crashes inside the gossip phase
-    cfg.failures.online.push_back(
-        {static_cast<NodeId>(100 + k), static_cast<Step>(2 + k)});
+  const auto& pre = cfg.failures.pre_failed;
+  int added = 0;  // 10 crashes inside the gossip phase (a node fails once,
+                  // so skip victims the random pre-failed set already took)
+  for (NodeId v = 100; added < 10; ++v) {
+    if (std::find(pre.begin(), pre.end(), v) != pre.end()) continue;
+    cfg.failures.online.push_back({v, static_cast<Step>(2 + added)});
+    ++added;
+  }
   AlgoConfig acfg;
   acfg.T = 13;  // gossip ends at 13; all online failures are before that
   acfg.fcg_f = 1;

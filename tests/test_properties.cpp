@@ -7,6 +7,7 @@
 #include <map>
 
 #include "gossip/timing.hpp"
+#include "harness/experiment.hpp"
 #include "harness/runner.hpp"
 
 namespace cg {
@@ -170,6 +171,59 @@ TEST(TraceCoherence, ColoredAtMostOncePerNode) {
     EXPECT_EQ(count, 1) << "node " << node << " colored twice (duplicates)";
   for (const auto& [node, count] : completed)
     EXPECT_EQ(count, 1) << "node " << node << " completed twice";
+}
+
+// ------------------------------------------- loss-hardened guarantees --
+
+// A channel hostile enough that the PLAIN correction phase measurably
+// fails (a lost kFwd silently skips part of the ring), but tame enough
+// that bounded retransmission restores the guarantee in every trial:
+// 15% Gilbert-Elliott loss in bursts of mean 8 steps, deliberately short
+// gossip (T=8 at N=128) so correction carries real weight.
+TrialSpec bursty_spec(Algo algo, bool reliable) {
+  TrialSpec spec;
+  spec.algo = algo;
+  spec.acfg.T = 8;
+  spec.acfg.fcg_f = 1;
+  spec.acfg.reliable.enabled = reliable;
+  spec.n = 128;
+  spec.logp = LogP::unit();
+  spec.seed = 42;
+  spec.trials = 200;
+  spec.threads = 4;
+  spec.burst_loss = 0.15;
+  spec.burst_mean = 8;
+  return spec;
+}
+
+// Claim 3 (all active nodes reached) survives burst loss ONLY with the
+// ack/retransmit sublayer: 200 seeds, zero misses - and the same 200
+// seeds show the plain variant measurably losing nodes, so the pass is
+// not the channel being secretly gentle.
+TEST(LossHardening, CcgReachesAllNodesUnderBurstLossWithRetransmission) {
+  const TrialAggregate rel = run_trials(bursty_spec(Algo::kCcg, true));
+  EXPECT_EQ(rel.all_colored_trials, rel.trials);
+  EXPECT_EQ(rel.hit_max_steps_trials, 0);
+  EXPECT_GT(rel.work_retrans.mean(), 0.0);
+
+  const TrialAggregate plain = run_trials(bursty_spec(Algo::kCcg, false));
+  EXPECT_LT(plain.all_colored_trials, plain.trials);
+  EXPECT_DOUBLE_EQ(plain.work_retrans.mean(), 0.0);
+}
+
+// FCG's all-or-nothing delivery (Claim 4) under the same channel: the
+// hardened variant never violates it and never needs an SOS it cannot
+// finish; the plain variant demonstrably does.
+TEST(LossHardening, FcgKeepsAllOrNothingUnderBurstLossWithRetransmission) {
+  const TrialAggregate rel = run_trials(bursty_spec(Algo::kFcg, true));
+  EXPECT_EQ(rel.all_or_nothing_violations, 0);
+  EXPECT_EQ(rel.sos_incomplete_trials, 0);
+  EXPECT_EQ(rel.hit_max_steps_trials, 0);
+
+  const TrialAggregate plain = run_trials(bursty_spec(Algo::kFcg, false));
+  EXPECT_GT(plain.all_or_nothing_violations + plain.sos_incomplete_trials +
+                (plain.trials - plain.all_delivered_trials),
+            0);
 }
 
 }  // namespace
