@@ -26,7 +26,6 @@
 
 #include <algorithm>
 #include <barrier>
-#include <deque>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sim/core/basic_ctx.hpp"
+#include "sim/core/inbox.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
 #include "sim/core/profile.hpp"
@@ -111,6 +111,9 @@ class ParallelEngine {
     // compute time per phase (barrier waits excluded), folded at the end.
     std::int64_t prof_receive = 0;
     std::int64_t prof_tick = 0;
+    std::int64_t prof_scheduled = 0;   // messages staged (delivery calendar)
+    std::int64_t prof_fired = 0;       // messages drained from owned queues
+    std::int64_t prof_max_bucket = 0;  // peak one-node timed-queue occupancy
     double prof_phase_a_s = 0;
     double prof_phase_b_s = 0;
     char pad[64];                      // avoid false sharing
@@ -135,6 +138,7 @@ class ParallelEngine {
     out.src = from;
     ws.outbox.push_back({at, to, out});
     ++ws.sent;
+    if (cfg_.profile != nullptr) ++ws.prof_scheduled;
   }
 
   void do_activate(int worker, NodeId i) {
@@ -157,6 +161,11 @@ class ParallelEngine {
     const auto idx = static_cast<std::size_t>(i);
     const Step s = step_;
     auto& q = queue_[idx];
+    if (cfg_.profile != nullptr) {
+      auto& ws = workers_[static_cast<std::size_t>(w)];
+      ws.prof_max_bucket =
+          std::max(ws.prof_max_bucket, static_cast<std::int64_t>(q.size()));
+    }
     due.clear();
     for (std::size_t k = 0; k < q.size();) {
       if (q[k].at <= s) {
@@ -167,6 +176,9 @@ class ParallelEngine {
         ++k;
       }
     }
+    if (cfg_.profile != nullptr)
+      workers_[static_cast<std::size_t>(w)].prof_fired +=
+          static_cast<std::int64_t>(due.size());
     if (cfg_.rx == RxPolicy::kDrainAll) {
       if (store_.alive(i) && !store_.done(i)) {
         for (const auto& d : due) {
@@ -232,7 +244,7 @@ class ParallelEngine {
   std::vector<Step> crash_at_;
   std::vector<Step> restart_up_;              // revive step per node (kNever)
   std::vector<std::vector<TimedMsg>> queue_;  // per-node pending deliveries
-  std::vector<std::deque<Message>> inbox_;    // kOnePerStep only
+  std::vector<InboxBuf> inbox_;               // kOnePerStep only
   std::vector<WorkerState> workers_;
   std::int64_t active_count_ = 0;
   std::int64_t in_flight_ = 0;
@@ -398,6 +410,10 @@ RunMetrics ParallelEngine<Node>::run() {
     for (const auto& ws : workers_) {
       prof->callbacks_receive += ws.prof_receive;
       prof->callbacks_tick += ws.prof_tick;
+      prof->events_scheduled += ws.prof_scheduled;
+      prof->events_fired += ws.prof_fired;
+      prof->queue_max_bucket =
+          std::max(prof->queue_max_bucket, ws.prof_max_bucket);
       // Phase time = the slowest worker's compute (the step's critical path).
       prof->deliver_s = std::max(prof->deliver_s, ws.prof_phase_a_s);
       prof->route_s = std::max(prof->route_s, ws.prof_phase_b_s);

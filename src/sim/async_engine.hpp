@@ -1,31 +1,50 @@
 // Event-driven execution of the same protocol state machines the stepped
-// engine runs, built on the EventQueue kernel.
+// engine runs, built on the calendar-queue EventQueue kernel.
 //
 // Instead of advancing a global step loop over all N nodes, this engine
-// schedules one event per (node, step) for ACTIVE nodes only, plus one
-// event per message delivery.  Time is tripled internally so that each
-// step's phases fire in the stepped engine's order no matter how events
-// were inserted: crashes and arrivals at 3s, one-per-step inbox pops at
-// 3s + 1, ticks at 3s + 2.  That makes the execution EXACTLY equivalent to
-// the stepped engine - tests/test_async_engine.cpp and
-// tests/test_engine_parity.cpp assert identical metrics.  The event-driven
-// form is the natural host for future irregular-time extensions (g > 0,
-// per-node clock drift) and is faster when only a small fraction of nodes
-// is active for long stretches.
+// schedules events for ACTIVE nodes only.  Time is tripled internally so
+// that each step's phases fire in the stepped engine's order no matter how
+// events were inserted: crashes and arrivals at 3s, one-per-step inbox
+// pops at 3s + 1, ticks at 3s + 2.  That makes the execution EXACTLY
+// equivalent to the stepped engine - tests/test_async_engine.cpp and
+// tests/test_engine_parity.cpp assert identical metrics and byte-identical
+// canonical traces.  The event-driven form is the natural host for future
+// irregular-time extensions (g > 0, per-node clock drift) and is faster
+// when only a small fraction of nodes is active for long stretches.
 //
-// The model itself (delays/jitter/loss, node lifecycle, emission gate,
-// metrics finalization, Ctx surface) is shared with the other engines via
-// src/sim/core/ - this file only schedules.
+// Hot-path structure (see docs/PERF.md for the design rationale and the
+// before/after numbers):
+//   * messages do NOT ride the event queue.  do_send appends the message
+//     to a delivery-calendar ring slot (the stepped engine's scheme) and
+//     schedules at most ONE kernel event per (arrival step): a sweep that
+//     dispatches the whole slot in send order.  Same-step deliveries are
+//     batched per step, not re-entered per message;
+//   * ticks are batched the same way: nodes due to tick at a step go on
+//     that step's list and ONE kernel event runs the list (same-step tick
+//     order is immaterial - every node draws from its own RNG stream);
+//   * kOnePerStep inbox pops are one kernel event per (node, step with
+//     backlog), scheduled from the sweep, not from each arrival;
+//   * every handler captures only `this` plus ids, so it fits the
+//     kernel's inline slot storage - the steady-state path performs zero
+//     heap allocations (EngineProfile::queue_slot_capacity plateaus).
+//
+// The queue horizon is bounded: arrivals land within NetworkModel::
+// max_delay() steps of the send and ticks/pops one step ahead, so the
+// kernel ring is sized once per run and far-future overflow only ever
+// holds the failure schedule.  The model itself (delays/jitter/loss, node
+// lifecycle, emission gate, metrics finalization, Ctx surface) is shared
+// with the other engines via src/sim/core/ - this file only schedules.
 #pragma once
 
 #include <algorithm>
-#include <deque>
+#include <array>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sim/core/basic_ctx.hpp"
+#include "sim/core/inbox.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
 #include "sim/core/profile.hpp"
@@ -79,11 +98,16 @@ class AsyncEngine {
   void ctx_note_dropped(NodeId) { counts_.add_dropped(); }
 
  private:
+  struct Delivery {
+    NodeId to;
+    Message msg;
+  };
+
   // Phases within a step (internal time = step * kPhases + phase).  Keeping
   // pops on their own phase means a pop event never races an arrival event
-  // for the same step on heap insertion order.
+  // for the same step on bucket insertion order.
   static constexpr Step kPhases = 3;
-  static constexpr Step kPhaseArrive = 0;  // crashes, then message arrivals
+  static constexpr Step kPhaseArrive = 0;  // crashes, then delivery sweeps
   static constexpr Step kPhaseRx = 1;      // kOnePerStep inbox pops
   static constexpr Step kPhaseTick = 2;    // on_tick for active nodes
 
@@ -104,32 +128,50 @@ class AsyncEngine {
       return;
     }
 
+    // Append to the delivery calendar; one sweep event per arrival step
+    // dispatches the whole slot (the slot's stamp dedups the event).
+    const auto slot = static_cast<std::size_t>(at) & cal_mask_;
     Message out = m;
     out.src = from;
-    q_.schedule_at(at * kPhases + kPhaseArrive,
-                   [this, to, out] { on_arrival(to, out); });
+    calendar_[slot].push_back({to, out});
+    if (cal_stamp_[slot] != at) {
+      cal_stamp_[slot] = at;
+      q_.schedule_at(at * kPhases + kPhaseArrive,
+                     [this, at] { on_sweep(at); });
+    }
   }
 
-  void on_arrival(NodeId to, const Message& m) {
+  /// Deliver every message that arrives at step `s`, in send order - the
+  /// stepped engine's per-slot order, so per-node receive sequences match.
+  void on_sweep(Step s) {
+    const auto slot = static_cast<std::size_t>(s) & cal_mask_;
+    due_.clear();
+    due_.swap(calendar_[slot]);
     if (cfg_.rx == RxPolicy::kDrainAll) {
-      dispatch(to, m);
+      for (const auto& d : due_) dispatch(d.to, d.msg);
       return;
     }
-    // kOnePerStep: queue the message; same-step arrivals keep the canonical
-    // rx order within the inbox tail so every engine defers the same one.
-    const Step s = step_now();
-    const auto idx = static_cast<std::size_t>(to);
-    auto& box = inbox_[idx];
-    if (inbox_stamp_[idx] != s) {
-      inbox_stamp_[idx] = s;
-      inbox_tail_[idx] = box.size();
+    // kOnePerStep: stage this step's arrivals per inbox, canonically order
+    // each touched tail, then make sure a pop chain is running.
+    for (const auto& d : due_) {
+      const auto idx = static_cast<std::size_t>(d.to);
+      if (inbox_stamp_[idx] != s) {
+        inbox_stamp_[idx] = s;
+        inbox_tail_[idx] = inbox_[idx].size();
+      }
+      inbox_[idx].push_back(d.msg);
     }
-    const auto tail = box.begin() + static_cast<std::ptrdiff_t>(inbox_tail_[idx]);
-    box.insert(std::upper_bound(tail, box.end(), m, rx_order_before), m);
-    if (rx_sched_[idx] == kNever) {
-      const Step at = std::max(s, rx_next_[idx]);
-      rx_sched_[idx] = at;
-      schedule_rx(to, at);
+    for (const auto& d : due_) {
+      const auto idx = static_cast<std::size_t>(d.to);
+      if (inbox_stamp_[idx] != s) continue;  // tail already handled
+      inbox_stamp_[idx] = -1;
+      auto& box = inbox_[idx];
+      std::sort(box.at(inbox_tail_[idx]), box.end(), rx_order_before);
+      if (rx_sched_[idx] == kNever) {
+        const Step at = std::max(s, rx_next_[idx]);
+        rx_sched_[idx] = at;
+        schedule_rx(d.to, at);
+      }
     }
   }
 
@@ -167,19 +209,38 @@ class AsyncEngine {
     schedule_tick(i, step_now() + 1);
   }
 
+  /// Ticks are batched like deliveries: nodes due to tick at a step go on
+  /// that step's list, and ONE kernel event runs the whole list.  Within a
+  /// step, tick order is immaterial to every protocol invariant (each node
+  /// draws from its own RNG stream; same-step arrivals are canonically
+  /// reordered), which the cross-engine byte-parity tests exercise.
   void schedule_tick(NodeId i, Step at_step) {
-    q_.schedule_at(at_step * kPhases + kPhaseTick, [this, i, at_step] {
+    CG_CHECK(at_step > step_now());  // ring holds at most one future step
+    const auto slot = static_cast<std::size_t>(at_step) & kTickMask;
+    tick_cal_[slot].push_back(i);
+    if (tick_stamp_[slot] != at_step) {
+      tick_stamp_[slot] = at_step;
+      q_.schedule_at(at_step * kPhases + kPhaseTick,
+                     [this, at_step] { on_tick_sweep(at_step); });
+    }
+  }
+
+  void on_tick_sweep(Step s) {
+    tick_due_.clear();
+    tick_due_.swap(tick_cal_[static_cast<std::size_t>(s) & kTickMask]);
+    EngineProfile* const prof = cfg_.profile;
+    for (const NodeId i : tick_due_) {
       const auto idx = static_cast<std::size_t>(i);
-      if (!store_.alive(i) || store_.done(i)) return;
-      if (crash_at_[idx] <= at_step) {
+      if (!store_.alive(i) || store_.done(i)) continue;
+      if (crash_at_[idx] <= s) {
         kill(i);
-        return;
+        continue;
       }
-      if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_tick;
+      if (prof != nullptr) ++prof->callbacks_tick;
       Ctx ctx(*this, i);
       nodes_[idx].on_tick(ctx);
-      if (store_.state(i) == NodeRunState::kActive) schedule_tick(i, at_step + 1);
-    });
+      if (store_.state(i) == NodeRunState::kActive) schedule_tick(i, s + 1);
+    }
   }
 
   void kill(NodeId i) {
@@ -211,11 +272,28 @@ class AsyncEngine {
   SendGate gate_;
   MessageCounts counts_;
   std::vector<Step> crash_at_;
-  std::vector<std::deque<Message>> inbox_;  // kOnePerStep only
-  std::vector<Step> inbox_stamp_;           // kOnePerStep scratch
-  std::vector<std::size_t> inbox_tail_;     // kOnePerStep scratch
-  std::vector<Step> rx_next_;               // next step a pop is allowed
-  std::vector<Step> rx_sched_;              // scheduled pop step, or kNever
+  std::vector<std::vector<Delivery>> calendar_;  // power-of-two ring by step
+  std::vector<Step> cal_stamp_;  // step a slot's sweep event targets
+  std::size_t cal_mask_ = 0;
+  std::vector<Delivery> due_;    // sweep scratch
+  // Tick calendar: ticks are only ever scheduled one step ahead, so a tiny
+  // ring suffices (kTickMask + 1 slots, power of two).
+  static constexpr std::size_t kTickMask = 3;
+  std::array<std::vector<NodeId>, kTickMask + 1> tick_cal_;
+  std::array<Step, kTickMask + 1> tick_stamp_;
+  std::vector<NodeId> tick_due_;  // tick sweep scratch
+  std::vector<InboxBuf> inbox_;   // kOnePerStep only
+  std::vector<Step> inbox_stamp_;            // kOnePerStep scratch
+  std::vector<std::size_t> inbox_tail_;      // kOnePerStep scratch
+  std::vector<Step> rx_next_;                // next step a pop is allowed
+  std::vector<Step> rx_sched_;               // scheduled pop step, or kNever
+  // Online-failure crash events still pending.  The stepped engine stops at
+  // quiescence without applying later-scheduled crashes, so the drain loop
+  // must not let these keep the simulation alive (kill events create no
+  // work; revive events do, and are NOT counted here - the stepped engine
+  // runs on until every restart has happened).
+  std::vector<EventQueue::EventId> online_kill_ids_;
+  std::int64_t pending_online_kills_ = 0;
   RunMetrics metrics_{};
 };
 
@@ -234,6 +312,21 @@ RunMetrics AsyncEngine<Node>::run() {
   gate_.reset(cfg_.n);
   counts_ = MessageCounts{};
   crash_at_.assign(n, kNever);
+  // Delivery calendar: a power-of-two ring strictly larger than the max
+  // send-to-delivery delay, so an in-flight step maps to a unique slot.
+  std::size_t cal_size = 4;
+  while (cal_size < static_cast<std::size_t>(net_.max_delay()) + 2)
+    cal_size *= 2;
+  cal_mask_ = cal_size - 1;
+  calendar_.assign(cal_size, {});
+  cal_stamp_.assign(cal_size, -1);
+  due_.clear();
+  for (auto& slot : tick_cal_) slot.clear();
+  tick_stamp_.fill(-1);
+  tick_due_.clear();
+  // Kernel ring: every steady-state event (sweep, pop, tick) lands within
+  // max_delay + 1 steps of now; only the failure schedule overflows.
+  q_.reset((net_.max_delay() + 2) * kPhases);
   if (cfg_.rx == RxPolicy::kOnePerStep) {
     inbox_.assign(n, {});
     inbox_stamp_.assign(n, -1);
@@ -245,15 +338,22 @@ RunMetrics AsyncEngine<Node>::run() {
 
   for (const NodeId i : cfg_.failures.pre_failed) store_.pre_fail(i);
   CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
+  online_kill_ids_.clear();
+  pending_online_kills_ = 0;
   for (const auto& of : cfg_.failures.online) {
     auto& c = crash_at_[static_cast<std::size_t>(of.node)];
     c = std::min(c, of.at_step);
     // A crash event guarantees the node dies even if it has no tick
     // pending (idle nodes); fire in the arrival phase of the crash step,
     // before that step's deliveries (these events are scheduled first, so
-    // FIFO-within-time runs them ahead of any arrival).
-    q_.schedule_at(std::max<Step>(of.at_step, 0) * kPhases + kPhaseArrive,
-                   [this, node = of.node] { kill(node); });
+    // FIFO-within-time runs them ahead of any delivery sweep).
+    ++pending_online_kills_;
+    online_kill_ids_.push_back(q_.schedule_at(
+        std::max<Step>(of.at_step, 0) * kPhases + kPhaseArrive,
+        [this, node = of.node] {
+          --pending_online_kills_;
+          kill(node);
+        }));
   }
   // Restart downs after online crashes, revivals after all crashes - the
   // same same-step order the stepped engine applies.
@@ -283,11 +383,17 @@ RunMetrics AsyncEngine<Node>::run() {
 
   // Two copies of the drain loop so the profiled path costs the common
   // case nothing at all (not even a branch per event).
+  // Drain until the only events left are crashes of nodes nobody will ever
+  // hear from again (see online_kill_ids_): the stepped engine's
+  // quiescence rule, expressed in queue terms.
   const Step max_steps = cfg_.effective_max_steps();
+  const auto work_pending = [this] {
+    return q_.pending() > static_cast<std::size_t>(pending_online_kills_);
+  };
   if (prof != nullptr) {
-    while (!q_.empty()) {
+    while (work_pending()) {
       // Attribute each handler's wall time to the internal phase it fired
-      // in: arrivals / rx pops -> deliver, ticks -> tick.
+      // in: delivery sweeps / rx pops -> deliver, ticks -> tick.
       const auto t0 = ProfileClock::now();
       q_.run_one();
       const double dt = ProfileClock::seconds_since(t0);
@@ -301,7 +407,7 @@ RunMetrics AsyncEngine<Node>::run() {
       }
     }
   } else {
-    while (!q_.empty()) {
+    while (work_pending()) {
       q_.run_one();
       if (step_now() >= max_steps) {
         metrics_.hit_max_steps = true;
@@ -309,10 +415,19 @@ RunMetrics AsyncEngine<Node>::run() {
       }
     }
   }
+  // Cancel unreached crash events so the kernel ledger balances (ids of
+  // already-fired kills are stale and rejected by the generation check).
+  for (const EventQueue::EventId id : online_kill_ids_) q_.cancel(id);
 
   if (prof != nullptr) {
     prof->steps = step_now();
     prof->wall_s = ProfileClock::seconds_since(prof_run0);
+    const EventQueue::Stats& qs = q_.stats();
+    prof->events_scheduled = qs.scheduled;
+    prof->events_fired = qs.fired;
+    prof->events_cancelled = qs.cancelled;
+    prof->queue_max_bucket = qs.max_bucket;
+    prof->queue_slot_capacity = static_cast<std::int64_t>(q_.slot_capacity());
   }
   counts_.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_now(), cfg_.record_node_detail);

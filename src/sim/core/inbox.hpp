@@ -1,0 +1,68 @@
+// Per-node receive queue for RxPolicy::kOnePerStep, shared by every
+// execution engine.
+//
+// A vector-backed FIFO with a consumed-prefix index: push_back appends,
+// pop_front bumps the head, and the buffer compacts only when fully
+// drained or when the dead prefix dominates.  Compared with the
+// std::deque<Message> the engines used before, pushes never allocate a
+// chunk after warm-up (the vector's capacity is recycled across steps,
+// the same slot-reuse discipline as the event kernel's slab), and the
+// storage is contiguous, which the engines rely on to canonically sort
+// each step's newly arrived tail (rx_order_before) with std::sort.
+//
+// Thread-safety contract (parallel engine): one InboxBuf per node, only
+// ever touched by the node's owner worker.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "proto/message.hpp"
+
+namespace cg {
+
+class InboxBuf {
+ public:
+  bool empty() const { return head_ == buf_.size(); }
+  std::size_t size() const { return buf_.size() - head_; }
+
+  void push_back(const Message& m) { buf_.push_back(m); }
+
+  const Message& front() const {
+    CG_CHECK(!empty());
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    CG_CHECK(!empty());
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  /// Pointer to the element `offset` positions past the front; valid until
+  /// the next push/pop.  Used with size() to sort the newly arrived tail.
+  Message* at(std::size_t offset) {
+    CG_CHECK(head_ + offset <= buf_.size());
+    return buf_.data() + head_ + offset;
+  }
+  Message* end() { return buf_.data() + buf_.size(); }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<Message> buf_;
+  std::size_t head_ = 0;  // consumed prefix
+};
+
+}  // namespace cg

@@ -28,6 +28,18 @@ struct EngineProfile {
   std::int64_t callbacks_start = 0;
   std::int64_t callbacks_receive = 0;
   std::int64_t callbacks_tick = 0;
+  // Scheduling-substrate counters.  What a "queue event" is depends on the
+  // engine: the async engine reports its calendar-queue kernel ops (ticks,
+  // delivery sweeps, rx pops, failures - EventQueue::Stats), the stepped
+  // and parallel engines report delivery-calendar ops (scheduled = routed
+  // messages, fired = messages consumed).  Within one engine the
+  // invariants hold: fired + cancelled <= scheduled, and a drained run
+  // ends with fired + cancelled == scheduled.
+  std::int64_t events_scheduled = 0;
+  std::int64_t events_fired = 0;
+  std::int64_t events_cancelled = 0;
+  std::int64_t queue_max_bucket = 0;  ///< peak one-bucket/slot occupancy
+  std::int64_t queue_slot_capacity = 0;  ///< slab plateau (async kernel only)
   Step steps = 0;
   double wall_s = 0;
   double deliver_s = 0;

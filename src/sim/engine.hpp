@@ -32,7 +32,6 @@
 #pragma once
 
 #include <algorithm>
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -41,6 +40,7 @@
 #include "common/types.hpp"
 #include "proto/message.hpp"
 #include "sim/core/basic_ctx.hpp"
+#include "sim/core/inbox.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
 #include "sim/core/profile.hpp"
@@ -125,7 +125,7 @@ class Engine {
   SendGate gate_;
   MessageCounts counts_;
   std::vector<std::vector<Delivery>> calendar_;  // ring buffer, D+1 slots
-  std::vector<std::deque<Message>> inbox_;       // kOnePerStep only
+  std::vector<InboxBuf> inbox_;                  // kOnePerStep only
   std::vector<Step> inbox_stamp_;                // kOnePerStep scratch
   std::vector<std::size_t> inbox_tail_;          // kOnePerStep scratch
   std::int64_t in_flight_ = 0;
@@ -158,6 +158,12 @@ void Engine<Node>::do_send(NodeId from, NodeId to, const Message& m) {
       at % static_cast<Step>(calendar_.size()))];
   slot.push_back({to, out});
   ++in_flight_;
+  if (cfg_.profile != nullptr) {
+    ++cfg_.profile->events_scheduled;
+    cfg_.profile->queue_max_bucket =
+        std::max(cfg_.profile->queue_max_bucket,
+                 static_cast<std::int64_t>(slot.size()));
+  }
 }
 
 template <class Node>
@@ -281,6 +287,8 @@ RunMetrics Engine<Node>::run() {
         step_ % static_cast<Step>(calendar_.size()))];
     due.clear();
     due.swap(slot);
+    if (prof != nullptr)
+      prof->events_fired += static_cast<std::int64_t>(due.size());
     if (cfg_.rx == RxPolicy::kDrainAll) {
       for (const auto& d : due) dispatch(d.to, d.msg);
     } else {
@@ -299,8 +307,7 @@ RunMetrics Engine<Node>::run() {
         if (inbox_stamp_[idx] != step_) continue;  // already sorted
         inbox_stamp_[idx] = -1;
         auto& box = inbox_[idx];
-        std::sort(box.begin() + static_cast<std::ptrdiff_t>(inbox_tail_[idx]),
-                  box.end(), rx_order_before);
+        std::sort(box.at(inbox_tail_[idx]), box.end(), rx_order_before);
       }
       for (NodeId i = 0; i < cfg_.n; ++i) {
         auto& box = inbox_[static_cast<std::size_t>(i)];

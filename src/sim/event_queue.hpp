@@ -1,18 +1,50 @@
-// Generic discrete-event kernel.
+// Generic discrete-event kernel: a calendar (bucket) queue.
 //
 // The stepped engine (engine.hpp) is the fast path for the paper's
-// synchronous LogP model; this binary-heap kernel underlies components
-// with irregular timing: the threaded runtime's virtual-time test mode and
-// any future g>0 / heterogeneous-latency extensions.  Events scheduled for
-// the same time fire in insertion order (stable), which keeps runs
-// deterministic.
+// synchronous LogP model; this kernel underlies components with irregular
+// timing: the event-driven AsyncEngine and any future g>0 /
+// heterogeneous-latency extensions.  Events scheduled for the same time
+// fire in insertion order (stable), which keeps runs deterministic.
+//
+// Design (classic bounded-horizon calendar queue from the DES literature):
+//   * slots    - events live in a slab (std::vector) of fixed-size Slot
+//                records recycled through a free list; the steady-state
+//                schedule/fire/cancel path performs ZERO heap allocations;
+//   * handlers - callables are stored INLINE in the slot (no
+//                std::function); they must be trivially copyable and
+//                destructible and fit kInlineHandlerBytes - a lambda
+//                capturing an engine pointer plus a few ids.  Enforced at
+//                compile time;
+//   * buckets  - a power-of-two ring of per-time buckets (intrusive doubly
+//                linked lists through the slots) covers [now, now + span).
+//                Every time in the window maps to its own bucket, so
+//                run_one is a bump-and-scan: advance to the first
+//                non-empty bucket, pop its head.  Simulations whose events
+//                stay within a bounded horizon of now (all engines here:
+//                max message delay + 1-step ticks) never leave the ring;
+//   * overflow - events beyond the window (e.g. a crash-restart schedule
+//                laid out at setup) go to a small min-heap and migrate
+//                into the ring as now advances.  Not a steady-state path;
+//   * cancel   - an EventId is (generation, slot); cancel unlinks the slot
+//                from its bucket and recycles it immediately, so N
+//                schedule+cancel cycles touch O(1) live memory (the old
+//                binary-heap kernel left tombstones until fire time).
+//                Cancelling a not-yet-migrated overflow event reclaims the
+//                slot at migration; stale ids are rejected by the
+//                generation check.
+//
+// Horizon contract: scheduling is correct at ANY distance (overflow), but
+// only in-window events get O(1) treatment.  Engines size the ring via
+// reset(min_horizon); CG_CHECK guards at >= now().  See docs/PERF.md.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <new>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -20,46 +52,131 @@
 
 namespace cg {
 
+/// Inline storage for event handlers (see EventQueue).  Sized for "pointer
+/// to host + a handful of ids" lambdas with headroom; raising it grows
+/// every slot, so keep payloads small (index into engine state, not state).
+inline constexpr std::size_t kInlineHandlerBytes = 48;
+
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  /// Lifetime operation counters + occupancy watermarks (reset()).
+  /// scheduled == fired + cancelled + pending() at all times.
+  struct Stats {
+    std::int64_t scheduled = 0;   ///< schedule_at/schedule_in calls
+    std::int64_t fired = 0;       ///< handlers run
+    std::int64_t cancelled = 0;   ///< successful cancel() calls
+    std::int64_t max_live = 0;    ///< peak concurrently pending events
+    std::int64_t max_bucket = 0;  ///< peak events in one calendar bucket
+  };
+
+  explicit EventQueue(Step min_horizon = kDefaultHorizon) {
+    reset(min_horizon);
+  }
+
+  /// Clear all state and size the bucket ring to cover at least
+  /// [now, now + min_horizon].  Slot slab capacity is retained across
+  /// resets so back-to-back runs reuse warm memory.
+  void reset(Step min_horizon = kDefaultHorizon) {
+    CG_CHECK(min_horizon >= 0);
+    std::size_t span = 16;
+    while (span < static_cast<std::size_t>(min_horizon) + 2) span *= 2;
+    mask_ = span - 1;
+    head_.assign(span, kNil);
+    tail_.assign(span, kNil);
+    bucket_count_.assign(span, 0);
+    slots_.clear();
+    free_head_ = kNil;
+    overflow_ = {};
+    live_ = 0;
+    seq_ = 0;
+    now_ = 0;
+    stats_ = Stats{};
+  }
 
   /// Schedule `fn` at absolute time `at` (must be >= now()).
   /// Returns an id usable with cancel().
-  std::uint64_t schedule_at(Step at, Handler fn) {
+  template <class F>
+  EventId schedule_at(Step at, F fn) {
+    static_assert(std::is_trivially_copyable_v<F> &&
+                      std::is_trivially_destructible_v<F>,
+                  "EventQueue handlers are stored inline; capture plain "
+                  "pointers/ids, not owning types");
+    static_assert(sizeof(F) <= kInlineHandlerBytes,
+                  "handler too large for inline slot storage");
     CG_CHECK(at >= now_);
-    const std::uint64_t id = next_id_++;
-    heap_.push(Entry{at, id, std::move(fn)});
-    scheduled_.insert(id);
-    return id;
+    const std::uint32_t s = alloc_slot();
+    Slot& slot = slots_[s];
+    slot.at = at;
+    slot.seq = seq_++;
+    slot.invoke = [](const void* buf) {
+      (*static_cast<const F*>(buf))();
+    };
+    ::new (static_cast<void*>(slot.handler)) F(fn);
+    if (at <= now_ + static_cast<Step>(mask_)) {
+      slot.state = SlotState::kInRing;
+      link_back(bucket(at), s);
+    } else {
+      slot.state = SlotState::kOverflow;
+      overflow_.push(OverflowRef{at, slot.seq, s});
+    }
+    ++live_;
+    ++stats_.scheduled;
+    stats_.max_live = std::max(stats_.max_live, live_);
+    return make_id(s, slot.gen);
   }
 
   /// Schedule `fn` `delay` ticks from now.
-  std::uint64_t schedule_in(Step delay, Handler fn) {
+  template <class F>
+  EventId schedule_in(Step delay, F fn) {
     CG_CHECK(delay >= 0);
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, fn);
   }
 
   /// Cancel a scheduled event; returns false if it already fired or was
-  /// cancelled before (the heap entry becomes a tombstone).
-  bool cancel(std::uint64_t id) { return scheduled_.erase(id) > 0; }
+  /// cancelled before.  In-window events are unlinked and their slot
+  /// recycled immediately (O(1)); overflow events are reclaimed when the
+  /// window reaches them.
+  bool cancel(EventId id) {
+    const auto s = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (s >= slots_.size()) return false;
+    Slot& slot = slots_[s];
+    if (slot.gen != gen) return false;
+    switch (slot.state) {
+      case SlotState::kInRing:
+        unlink(bucket(slot.at), s);
+        free_slot(s);
+        break;
+      case SlotState::kOverflow:
+        // The overflow heap holds a reference by (seq, slot); mark the slot
+        // so migration drops it and recycles the storage then.
+        slot.state = SlotState::kOverflowCancelled;
+        break;
+      default:
+        return false;  // free or already-cancelled: id is stale
+    }
+    --live_;
+    ++stats_.cancelled;
+    return true;
+  }
 
   Step now() const { return now_; }
-  bool empty() const { return scheduled_.empty(); }
-  std::size_t pending() const { return scheduled_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return static_cast<std::size_t>(live_); }
+  const Stats& stats() const { return stats_; }
+
+  /// Slot-pool capacity (slab size).  Steady-state workloads reach a
+  /// plateau here: schedule/cancel/fire recycle slots instead of growing.
+  std::size_t slot_capacity() const { return slots_.size(); }
 
   /// Fire the next event; returns false if none remain.
   bool run_one() {
-    while (!heap_.empty()) {
-      Entry e = heap_.top();
-      heap_.pop();
-      if (scheduled_.erase(e.id) == 0) continue;  // tombstone (cancelled)
-      CG_CHECK(e.at >= now_);
-      now_ = e.at;
-      e.fn();
-      return true;
-    }
-    return false;
+    const std::uint32_t s = next_slot(kNever);
+    if (s == kNil) return false;
+    fire(s);
+    return true;
   }
 
   /// Run until the queue is empty or `max_events` fired. Returns events fired.
@@ -74,29 +191,176 @@ class EventQueue {
   std::size_t run_until(Step horizon) {
     std::size_t fired = 0;
     for (;;) {
-      // Skip tombstones to see the true next event time.
-      while (!heap_.empty() && scheduled_.count(heap_.top().id) == 0) heap_.pop();
-      if (heap_.empty() || heap_.top().at > horizon) break;
-      if (run_one()) ++fired;
+      const std::uint32_t s = next_slot(horizon);
+      if (s == kNil) break;
+      fire(s);
+      ++fired;
     }
     now_ = std::max(now_, horizon);
     return fired;
   }
 
  private:
-  struct Entry {
+  static constexpr Step kDefaultHorizon = 62;  // ring of 64 buckets
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  enum class SlotState : std::uint8_t {
+    kFree,
+    kInRing,
+    kOverflow,
+    kOverflowCancelled,
+  };
+
+  struct Slot {
+    Step at = 0;
+    std::uint64_t seq = 0;          // global insertion order (FIFO ties)
+    std::uint32_t prev = kNil;      // intrusive bucket list links
+    std::uint32_t next = kNil;      // doubles as free-list link
+    std::uint32_t gen = 0;          // bumped on recycle; stale ids miss
+    SlotState state = SlotState::kFree;
+    void (*invoke)(const void*) = nullptr;
+    alignas(alignof(std::max_align_t)) unsigned char
+        handler[kInlineHandlerBytes];
+  };
+
+  struct OverflowRef {
     Step at;
-    std::uint64_t id;
-    Handler fn;
-    bool operator>(const Entry& o) const {
-      return at != o.at ? at > o.at : id > o.id;  // stable: FIFO within a time
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const OverflowRef& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> scheduled_;
-  std::uint64_t next_id_ = 0;
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  std::size_t bucket(Step at) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(at)) & mask_;
+  }
+
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNil) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slots_[s].next;
+      return s;
+    }
+    CG_CHECK_MSG(slots_.size() < kNil, "event slot space exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void free_slot(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    ++slot.gen;
+    slot.state = SlotState::kFree;
+    slot.next = free_head_;
+    free_head_ = s;
+  }
+
+  void link_back(std::size_t b, std::uint32_t s) {
+    Slot& slot = slots_[s];
+    slot.prev = tail_[b];
+    slot.next = kNil;
+    if (tail_[b] != kNil)
+      slots_[tail_[b]].next = s;
+    else
+      head_[b] = s;
+    tail_[b] = s;
+    const std::int64_t cnt = ++bucket_count_[b];
+    stats_.max_bucket = std::max(stats_.max_bucket, cnt);
+  }
+
+  void unlink(std::size_t b, std::uint32_t s) {
+    Slot& slot = slots_[s];
+    if (slot.prev != kNil)
+      slots_[slot.prev].next = slot.next;
+    else
+      head_[b] = slot.next;
+    if (slot.next != kNil)
+      slots_[slot.next].prev = slot.prev;
+    else
+      tail_[b] = slot.prev;
+    --bucket_count_[b];
+  }
+
+  /// Move overflow events that entered the window [now_, now_ + span) into
+  /// their buckets.  Overflow events were scheduled before the window could
+  /// reach their time, and in-window inserts for a time T only happen after
+  /// the window covers T, so migrating eagerly preserves global FIFO order
+  /// within each time (overflow refs themselves migrate in (at, seq) order).
+  void migrate_overflow() {
+    const Step limit = now_ + static_cast<Step>(mask_);
+    while (!overflow_.empty() && overflow_.top().at <= limit) {
+      const OverflowRef ref = overflow_.top();
+      overflow_.pop();
+      Slot& slot = slots_[ref.slot];
+      if (slot.state == SlotState::kOverflowCancelled && slot.seq == ref.seq) {
+        free_slot(ref.slot);  // reclaim a cancelled far-future event
+        continue;
+      }
+      if (slot.state != SlotState::kOverflow || slot.seq != ref.seq)
+        continue;  // stale reference (should not happen; be safe)
+      slot.state = SlotState::kInRing;
+      link_back(bucket(slot.at), ref.slot);
+    }
+  }
+
+  /// Find the slot of the next event with time <= cap, advancing now() to
+  /// its time; returns kNil (leaving now() <= cap) when no such event
+  /// exists.  The scan touches at most one full ring sweep before jumping
+  /// the clock to the overflow heap's minimum; the dense case (engines:
+  /// ticks every step) finds its event in the first bucket or two.
+  std::uint32_t next_slot(Step cap) {
+    if (live_ == 0) return kNil;
+    for (;;) {
+      migrate_overflow();
+      const Step window_end = now_ + static_cast<Step>(mask_);
+      for (Step t = now_; t <= window_end; ++t) {
+        if (t > cap) return kNil;
+        const std::uint32_t s = head_[bucket(t)];
+        if (s != kNil) {
+          // One time per bucket inside the window, so the head's time is t.
+          now_ = t;
+          return s;
+        }
+      }
+      // Ring empty: every remaining event is in overflow.  Jump the clock
+      // to the earliest one and migrate (live_ > 0 guarantees progress).
+      CG_CHECK(!overflow_.empty());
+      if (overflow_.top().at > cap) return kNil;
+      now_ = overflow_.top().at;
+    }
+  }
+
+  void fire(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    unlink(bucket(slot.at), s);
+    // Copy the handler out before recycling: the callable may schedule new
+    // events, growing (reallocating) the slab or reusing this very slot.
+    alignas(alignof(std::max_align_t)) unsigned char buf[kInlineHandlerBytes];
+    std::memcpy(buf, slot.handler, sizeof(buf));
+    const auto invoke = slot.invoke;
+    free_slot(s);
+    --live_;
+    ++stats_.fired;
+    invoke(buf);
+  }
+
+  std::size_t mask_ = 0;
+  std::vector<std::uint32_t> head_;          // bucket list heads
+  std::vector<std::uint32_t> tail_;          // bucket list tails
+  std::vector<std::int64_t> bucket_count_;   // occupancy (stats watermark)
+  std::vector<Slot> slots_;                  // slab; grows, never shrinks
+  std::uint32_t free_head_ = kNil;           // recycled-slot list
+  std::priority_queue<OverflowRef, std::vector<OverflowRef>,
+                      std::greater<>>
+      overflow_;                             // far-future events (rare)
+  std::int64_t live_ = 0;
+  std::uint64_t seq_ = 0;
   Step now_ = 0;
+  Stats stats_{};
 };
 
 }  // namespace cg

@@ -9,6 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <random>
+#include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -295,6 +299,113 @@ TEST(EngineParity, ProfileCallbackCountsMatchAcrossEngines) {
   EXPECT_EQ(serial.callbacks_start, par.callbacks_start);
   EXPECT_EQ(serial.callbacks_receive, par.callbacks_receive);
   EXPECT_EQ(serial.callbacks_tick, par.callbacks_tick);
+
+  // Queue instrumentation.  The stepped engines count delivery-calendar
+  // traffic (one event per undropped message), so serial and parallel must
+  // agree exactly, every staged message must drain, and nothing cancels.
+  EXPECT_GT(serial.events_scheduled, 0);
+  EXPECT_EQ(serial.events_fired, serial.events_scheduled);
+  EXPECT_EQ(serial.events_cancelled, 0);
+  EXPECT_EQ(par.events_scheduled, serial.events_scheduled);
+  EXPECT_EQ(par.events_fired, serial.events_fired);
+  EXPECT_EQ(par.events_cancelled, 0);
+  EXPECT_GE(serial.queue_max_bucket, 1);
+  EXPECT_GE(par.queue_max_bucket, 1);
+
+  // The async engine counts kernel operations (ticks, delivery sweeps, rx
+  // pops, crash events) - a different unit, but the run drained the queue,
+  // so the operation ledger must balance, and the slot pool must have hit a
+  // recycling plateau far below the total operation count (the zero-
+  // allocation steady-state contract: live slots stay O(n), never O(events)).
+  EXPECT_GT(async.events_scheduled, 0);
+  EXPECT_EQ(async.events_fired + async.events_cancelled,
+            async.events_scheduled);
+  EXPECT_GE(async.queue_max_bucket, 1);
+  EXPECT_GT(async.queue_slot_capacity, 0);
+  EXPECT_LT(async.queue_slot_capacity, async.events_scheduled);
+  EXPECT_LE(async.queue_slot_capacity, 8 * base.n + 64);
+}
+
+// ~100-seed randomized property test: a fresh fault stack per seed (jitter,
+// i.i.d. + burst loss, pre/online failures, crash-restarts, stragglers,
+// partitions, reliable sublayer, both rx policies, all four protocols), with
+// the canonically sorted JSONL trace required to be BYTE-IDENTICAL between
+// the stepped and event-driven engines (and the parallel engine on every
+// 10th seed).  This is the adversarial sweep for the event-kernel rewrite:
+// any batching or calendar-ordering slip shows up as a trace diff.
+TEST(EngineParity, RandomizedFaultStacksTraceByteParity) {
+  constexpr int kSeeds = 100;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    std::mt19937_64 gen(0x9E3779B97F4A7C15ull * static_cast<unsigned>(seed));
+    auto pick = [&](int lo, int hi) {  // inclusive
+      return lo + static_cast<int>(gen() % static_cast<unsigned>(hi - lo + 1));
+    };
+
+    RunConfig cfg;
+    cfg.n = pick(48, 128);
+    cfg.logp = (pick(0, 1) != 0) ? LogP::piz_daint() : LogP::unit();
+    cfg.seed = static_cast<std::uint64_t>(seed) * 7919u;
+    cfg.rx = (pick(0, 1) != 0) ? RxPolicy::kOnePerStep : RxPolicy::kDrainAll;
+    cfg.jitter_max = pick(0, 2);
+    cfg.drop_prob = 0.01 * pick(0, 3);
+    if (pick(0, 1) != 0)
+      cfg.burst = BurstLoss::from_rate(0.01 * pick(2, 6), pick(2, 5));
+    // config_error() rejects a node failing twice (and duplicate straggler /
+    // partition listings), so draw distinct nodes per constraint set.
+    auto fresh_node = [&](std::set<NodeId>& used) {
+      for (;;) {
+        const auto i = static_cast<NodeId>(pick(1, cfg.n - 1));
+        if (used.insert(i).second) return i;
+      }
+    };
+    std::set<NodeId> failed, straggling, partitioned;
+    for (int k = pick(0, 2); k > 0; --k)
+      cfg.failures.pre_failed.push_back(fresh_node(failed));
+    for (int k = pick(0, 2); k > 0; --k)
+      cfg.failures.online.push_back(
+          {fresh_node(failed), static_cast<Step>(pick(3, 60))});
+    if (pick(0, 1) != 0) {
+      const Step down = static_cast<Step>(pick(5, 40));
+      cfg.failures.restarts.push_back(
+          {fresh_node(failed), down, down + static_cast<Step>(pick(1, 10))});
+    }
+    for (int k = pick(0, 2); k > 0; --k)
+      cfg.stragglers.push_back(
+          {fresh_node(straggling), static_cast<Step>(pick(2, 4))});
+    if (pick(0, 1) != 0) {
+      PartitionWindow pw;
+      pw.from = static_cast<Step>(pick(2, 20));
+      pw.until = pw.from + static_cast<Step>(pick(2, 15));
+      for (int k = pick(1, 4); k > 0; --k)
+        pw.members.push_back(fresh_node(partitioned));
+      cfg.partitions.push_back(pw);
+    }
+
+    const Algo algo =
+        std::array{Algo::kGos, Algo::kOcg, Algo::kCcg, Algo::kFcg}[
+            static_cast<std::size_t>(pick(0, 3))];
+    AlgoConfig acfg = algo_cfg(algo);
+    acfg.reliable.enabled = pick(0, 1) != 0;
+
+    auto canonical_jsonl = [&](EngineKind kind, int threads) {
+      VectorTrace trace;
+      RunConfig tcfg = cfg;
+      tcfg.trace = &trace;
+      run_once(algo, acfg, tcfg, {kind, threads});
+      std::vector<TraceEvent> events = trace.events();
+      obs::canonical_sort(events);
+      return obs::to_jsonl(events);
+    };
+
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " algo=" +
+                 std::string(algo_name(algo)) + " n=" + std::to_string(cfg.n));
+    const std::string serial = canonical_jsonl(EngineKind::kStepped, 1);
+    ASSERT_FALSE(serial.empty());
+    ASSERT_EQ(serial, canonical_jsonl(EngineKind::kAsync, 1));
+    if (seed % 10 == 0) {
+      ASSERT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 3));
+    }
+  }
 }
 
 // Acceptance spot-checks for the capabilities this PR unlocks.

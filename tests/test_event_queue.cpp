@@ -1,4 +1,4 @@
-// Unit tests for the discrete-event kernel.
+// Unit tests for the discrete-event kernel (calendar/bucket queue).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -84,13 +84,20 @@ TEST(EventQueue, RunMaxEvents) {
   EXPECT_EQ(q.pending(), 7u);
 }
 
+// Self-rescheduling chain without std::function: handlers are stored
+// inline, so the recursive callable carries plain pointers only.
+struct ChainStep {
+  EventQueue* q;
+  int* count;
+  void operator()() const {
+    if (++*count < 100) q->schedule_in(1, ChainStep{q, count});
+  }
+};
+
 TEST(EventQueue, HandlersCanScheduleMore) {
   EventQueue q;
   int chain = 0;
-  std::function<void()> step = [&] {
-    if (++chain < 100) q.schedule_in(1, step);
-  };
-  q.schedule_at(0, step);
+  q.schedule_at(0, ChainStep{&q, &chain});
   q.run();
   EXPECT_EQ(chain, 100);
   EXPECT_EQ(q.now(), 99);
@@ -104,6 +111,132 @@ TEST(EventQueue, PendingCountsLiveOnly) {
   q.cancel(a);
   EXPECT_EQ(q.pending(), 1u);
   EXPECT_FALSE(q.empty());
+}
+
+// Regression for the old binary-heap kernel's cancel leak: cancelled
+// entries used to stay in the heap as tombstones until their fire time, so
+// N schedule+cancel cycles held N dead entries.  The calendar queue must
+// recycle the slot on cancel: live memory stays O(1) no matter how many
+// cycles run, which the slot-pool capacity stat pins down.
+TEST(EventQueue, CancelReclaimsSlotsImmediately) {
+  EventQueue q;
+  for (int i = 0; i < 10000; ++i) {
+    const auto id = q.schedule_in(5, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.slot_capacity(), 2u);  // one slot recycled 10000 times
+  EXPECT_EQ(q.stats().scheduled, 10000);
+  EXPECT_EQ(q.stats().cancelled, 10000);
+  EXPECT_EQ(q.stats().fired, 0);
+  EXPECT_EQ(q.stats().max_live, 1);
+}
+
+// Steady-state schedule/fire traffic reaches a slot-pool plateau: the slab
+// never grows past the peak number of concurrently pending events.
+TEST(EventQueue, SteadyStateReusesSlots) {
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int k = 0; k < 8; ++k) q.schedule_in(1 + k % 3, [&] { ++fired; });
+    q.run();
+  }
+  EXPECT_EQ(fired, 8000);
+  EXPECT_LE(q.slot_capacity(), 16u);
+  EXPECT_EQ(q.stats().fired, 8000);
+  EXPECT_EQ(q.stats().scheduled, q.stats().fired + q.stats().cancelled);
+}
+
+// Events far beyond the bucket ring go to the overflow heap and still fire
+// in time order, interleaved correctly with near events, preserving FIFO
+// within each time.
+TEST(EventQueue, FarFutureEventsFireInOrder) {
+  EventQueue q(14);  // small ring to force overflow
+  std::vector<int> order;
+  q.schedule_at(100000, [&] { order.push_back(3); });
+  q.schedule_at(500, [&] { order.push_back(1); });
+  q.schedule_at(500, [&] { order.push_back(2); });
+  q.schedule_at(3, [&] { order.push_back(0); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.now(), 100000);
+}
+
+// FIFO within a time must hold across the ring/overflow boundary: an
+// overflow event scheduled first fires before a ring event for the same
+// time scheduled later (after the window advanced).
+TEST(EventQueue, OverflowKeepsFifoWithinTime) {
+  EventQueue q(14);
+  std::vector<int> order;
+  q.schedule_at(200, [&] { order.push_back(1); });  // overflow at schedule
+  q.schedule_at(190, [&] {
+    // Window now covers 200: this insert goes straight to the ring and
+    // must fire AFTER the migrated overflow event above.
+    q.schedule_at(200, [&] { order.push_back(2); });
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CancelOverflowEvent) {
+  EventQueue q(14);
+  int fired = 0;
+  const auto far = q.schedule_at(10000, [&] { ++fired; });
+  q.schedule_at(1, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(far));
+  EXPECT_FALSE(q.cancel(far));
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 1);  // never advanced to the cancelled far event
+}
+
+TEST(EventQueue, RunUntilDoesNotOvershootIntoOverflow) {
+  EventQueue q(14);
+  int fired = 0;
+  q.schedule_at(5000, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(100), 0u);
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 5000);
+}
+
+TEST(EventQueue, StatsTrackBucketOccupancy) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(4, [] {});
+  q.schedule_at(5, [] {});
+  EXPECT_EQ(q.stats().max_bucket, 7);
+  EXPECT_EQ(q.stats().max_live, 8);
+  q.run();
+  EXPECT_EQ(q.stats().fired, 8);
+}
+
+TEST(EventQueue, ResetClearsStateAndStats) {
+  EventQueue q;
+  q.schedule_at(3, [] {});
+  q.run();
+  q.reset(200);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.stats().scheduled, 0);
+  int fired = 0;
+  q.schedule_at(150, [&] { ++fired; });  // inside the resized window
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// Generation counters: an id from a fired-and-recycled slot must not
+// cancel the slot's next occupant.
+TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot) {
+  EventQueue q;
+  const auto old_id = q.schedule_at(1, [] {});
+  q.run();
+  int fired = 0;
+  q.schedule_at(2, [&] { ++fired; });  // reuses the recycled slot
+  EXPECT_FALSE(q.cancel(old_id));
+  q.run();
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace
