@@ -115,6 +115,14 @@ class EventQueue {
     };
     ::new (static_cast<void*>(slot.handler)) F(fn);
     if (at <= now_ + static_cast<Step>(mask_)) {
+      // Drain any overflow events the window now covers BEFORE linking, so
+      // an earlier-scheduled (lower-seq) overflow event at the same time is
+      // linked ahead of this one.  Without this, a handler firing after a
+      // time gap could schedule at time T while an older overflow event at
+      // T sat unmigrated (migration last ran with a stale window), and the
+      // later migration would link the older event behind the newer one,
+      // breaking FIFO-within-time.  No-op in steady state (overflow empty).
+      if (!overflow_.empty()) migrate_overflow();
       slot.state = SlotState::kInRing;
       link_back(bucket(at), s);
     } else {
@@ -286,10 +294,14 @@ class EventQueue {
   }
 
   /// Move overflow events that entered the window [now_, now_ + span) into
-  /// their buckets.  Overflow events were scheduled before the window could
-  /// reach their time, and in-window inserts for a time T only happen after
-  /// the window covers T, so migrating eagerly preserves global FIFO order
-  /// within each time (overflow refs themselves migrate in (at, seq) order).
+  /// their buckets.  Overflow refs migrate in (at, seq) order, and any event
+  /// still in the heap was scheduled earlier (lower seq) than any event the
+  /// caller is about to link, so global FIFO order within each time holds
+  /// PROVIDED every in-ring link is preceded by a migration under the
+  /// current window: next_slot() migrates before scanning (and re-migrates
+  /// after the overflow clock jump), and schedule_at() migrates before
+  /// linking in-ring — which also covers now_ advances that happen without
+  /// a scan (run_until's horizon jump, next_slot landing on a later bucket).
   void migrate_overflow() {
     const Step limit = now_ + static_cast<Step>(mask_);
     while (!overflow_.empty() && overflow_.top().at <= limit) {

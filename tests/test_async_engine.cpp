@@ -7,6 +7,7 @@
 #include "gossip/fcg.hpp"
 #include "gossip/gos.hpp"
 #include "gossip/ocg.hpp"
+#include "obs/trace_sinks.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/topology.hpp"
@@ -136,6 +137,92 @@ TEST(AsyncEngineTest, SosPathMatches) {
   const RunMetrics b = async.run();
   EXPECT_TRUE(a.sos_triggered);
   expect_same(a, b);
+}
+
+// Minimal protocol that leaves the event queue quiescent for a stretch:
+// the root sends once at step 0 and completes (no further ticks); node 1
+// relays on receive and completes.  No node ever ticks, so the kernel
+// clock only advances when a delivery sweep fires.
+class QuietRelayNode {
+ public:
+  struct Params {};
+  QuietRelayNode(const Params&, NodeId self, NodeId) : self_(self) {}
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    if (!ctx.is_root()) return;
+    ctx.mark_colored();
+    ctx.deliver();
+    Message m;
+    m.tag = Tag::kGossip;
+    m.time = ctx.now();
+    ctx.send(1, m);
+    ctx.complete();
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message&) {
+    ctx.mark_colored();
+    ctx.deliver();
+    if (self_ == 1) {
+      Message m;
+      m.tag = Tag::kGossip;
+      m.time = ctx.now();
+      ctx.send(2, m);
+    }
+    ctx.complete();
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx&) {}
+
+ private:
+  NodeId self_;
+};
+
+// Regression for a calendar-queue FIFO bug across the overflow boundary:
+// the online-crash event for node 2 (step 16, beyond the kernel ring at
+// setup, so it sits in the overflow heap) must fire before the delivery
+// sweep for a message ARRIVING at step 16, as the stepped engine applies
+// crashes ahead of deliveries within a step.  The sweep is scheduled from
+// a handler that fired after a quiet stretch (root sends at step 0, node 1
+// relays at step 8 with delivery delay 8), so the overflow heap was last
+// drained under a stale window; without migration-before-link in
+// schedule_at, the sweep would be linked ahead of the earlier-scheduled
+// crash and node 2 would be colored before dying.  The kill's protocol
+// reset scrubs that from RunMetrics, so the check is on the canonical
+// trace: the stepped engine has only a kFail for node 2 at step 16, the
+// buggy order adds deliver/colored/delivered/complete events before it.
+TEST(AsyncEngineTest, CrashBeatsSameStepArrivalAfterQuietStretch) {
+  RunConfig base;
+  base.n = 3;
+  base.logp = LogP{.l_over_o = 7, .o_us = 1.0};  // delivery delay = 8 steps
+  base.seed = 1;
+  base.failures.online.push_back({2, 16});  // node 2 dies at the arrival step
+  QuietRelayNode::Params p;
+
+  VectorTrace stepped_trace;
+  RunConfig scfg = base;
+  scfg.trace = &stepped_trace;
+  Engine<QuietRelayNode> stepped(scfg, p);
+  const RunMetrics s = stepped.run();
+
+  VectorTrace async_trace;
+  RunConfig acfg = base;
+  acfg.trace = &async_trace;
+  AsyncEngine<QuietRelayNode> async(acfg, p);
+  const RunMetrics a = async.run();
+
+  expect_same(s, a);
+  auto canonical = [](VectorTrace& t) {
+    std::vector<TraceEvent> events = t.events();
+    obs::canonical_sort(events);
+    return obs::to_jsonl(events);
+  };
+  EXPECT_EQ(canonical(stepped_trace), canonical(async_trace));
+  // Node 2 must never have been colored: the crash precedes the arrival.
+  for (const TraceEvent& ev : async_trace.events())
+    if (ev.node == 2) EXPECT_EQ(ev.kind, TraceEvent::Kind::kFail);
 }
 
 TEST(AsyncEngineTest, MaxStepsSafety) {

@@ -178,6 +178,39 @@ TEST(EventQueue, OverflowKeepsFifoWithinTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+// Regression: FIFO within a time must hold even when the window advances
+// DURING a scan (next_slot jumping from a long-idle now to a later bucket)
+// rather than via the overflow clock jump, which re-migrates.  Here the
+// handler at t=10 schedules for t=20 while an older overflow event at 20
+// is still unmigrated (migration last ran with the window at [0, 15]); the
+// in-ring insert must drain the overflow heap first or the later migration
+// links the older event behind the newer one.
+TEST(EventQueue, OverflowFifoSurvivesWindowAdvanceDuringScan) {
+  EventQueue q(14);  // ring of 16 buckets: 20 overflows at schedule time
+  std::vector<int> order;
+  q.schedule_at(20, [&] { order.push_back(1); });  // seq 0, overflow
+  q.schedule_at(10, [&] {
+    // now() == 10, so 20 is inside the window and this goes to the ring.
+    q.schedule_at(20, [&] { order.push_back(2); });  // must fire second
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Same hazard through the other now()-advance that skips migration:
+// run_until() jumps the clock to its horizon even when nothing fires, so a
+// schedule_at() between run_until and the next run must still order behind
+// an older overflow event for the same time.
+TEST(EventQueue, OverflowFifoSurvivesRunUntilHorizonJump) {
+  EventQueue q(14);
+  std::vector<int> order;
+  q.schedule_at(20, [&] { order.push_back(1); });  // overflow at schedule
+  EXPECT_EQ(q.run_until(10), 0u);                  // clock jump, no events
+  q.schedule_at(20, [&] { order.push_back(2); });  // in-ring, must be second
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(EventQueue, CancelOverflowEvent) {
   EventQueue q(14);
   int fired = 0;
