@@ -3,7 +3,7 @@
 // c-nodes: minimal work, but each hop pays a serial L+2O, so the latency
 // winner flips with the L/O ratio.
 //
-//   ./ablation_chain_correction [--n=1024] [--trials=300] [--seed=1]
+//   ./ablation_chain_correction [--n=1024] [--threads=0] [--trials=300] [--seed=1]
 #include <cstdio>
 
 #include "analysis/tuning.hpp"
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     const int k = k_bar_for(n, n, t.T_opt + 1, logp, eps);
     for (const Algo a : {Algo::kOcg, Algo::kOcgChain}) {
       TrialSpec spec;
+      spec.threads = bench::threads_flag(flags);
       spec.algo = a;
       spec.acfg.T = t.T_opt + 1;
       spec.acfg.ocg_corr_sends = a == Algo::kOcg ? k + 1 : k;

@@ -2,7 +2,7 @@
 // (double online failure probability ~7e-19); this bench shows what
 // higher resilience would cost in latency and work.
 //
-//   ./ablation_fcg_f [--n=1024] [--trials=300] [--seed=1]
+//   ./ablation_fcg_f [--n=1024] [--threads=0] [--trials=300] [--seed=1]
 #include <cstdio>
 
 #include "analysis/fcg_bound.hpp"
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   for (const int f : {0, 1, 2, 3}) {
     const FcgTuning t = tune_fcg(n, n, logp, eps, f);
     TrialSpec spec;
+    spec.threads = bench::threads_flag(flags);
     spec.algo = Algo::kFcg;
     spec.acfg.T = t.T_opt + 1;
     spec.acfg.fcg_f = f;

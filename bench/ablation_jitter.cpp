@@ -4,7 +4,7 @@
 // latency.  Corrected gossip's stop rules are order-insensitive (min /
 // set-merge), so correctness should hold; only the schedules stretch.
 //
-//   ./ablation_jitter [--n=1024] [--trials=300] [--seed=1]
+//   ./ablation_jitter [--n=1024] [--threads=0] [--trials=300] [--seed=1]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     for (const Algo a : {Algo::kOcg, Algo::kCcg, Algo::kFcg}) {
       const TunedAlgo tuned = tune_for(a, n, n, logp, eps, 1);
       TrialSpec spec;
+      spec.threads = bench::threads_flag(flags);
       spec.algo = a;
       spec.acfg = tuned.acfg;
       spec.n = n;

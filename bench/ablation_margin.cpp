@@ -3,7 +3,7 @@
 // both and reports the miss rate, demonstrating why the paper recommends
 // adding one O to each.
 //
-//   ./ablation_margin [--n=1024] [--trials=3000] [--seed=1] [--eps=...]
+//   ./ablation_margin [--n=1024] [--threads=0] [--trials=3000] [--seed=1] [--eps=...]
 #include <cstdio>
 
 #include "analysis/tuning.hpp"
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   for (const int tm : {0, 1, 2}) {
     for (const int cm : {0, 1, 2}) {
       TrialSpec spec;
+      spec.threads = bench::threads_flag(flags);
       spec.algo = Algo::kOcg;
       spec.acfg.T = t.T_opt + tm;
       spec.acfg.ocg_corr_sends =

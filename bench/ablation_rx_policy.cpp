@@ -3,7 +3,7 @@
 // LogP charges O per receive; this bench quantifies how much the choice
 // changes the reported metrics.
 //
-//   ./ablation_rx_policy [--n=1024] [--trials=300] [--seed=1]
+//   ./ablation_rx_policy [--n=1024] [--threads=0] [--trials=300] [--seed=1]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     const TunedAlgo tuned = tune_for(a, n, n, logp, eps, 1);
     for (const RxPolicy rx : {RxPolicy::kDrainAll, RxPolicy::kOnePerStep}) {
       TrialSpec spec;
+      spec.threads = bench::threads_flag(flags);
       spec.algo = a;
       spec.acfg = tuned.acfg;
       spec.n = n;

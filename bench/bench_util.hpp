@@ -44,6 +44,13 @@ inline void print_header(const char* title) {
   std::printf("# %s\n", title);
 }
 
+/// Shared --threads flag for the trial-farm drivers: 0 (the default)
+/// means auto-detect (see cg::resolve_threads).  Results are identical
+/// for every value - the farm's determinism contract (docs/PERF.md §5).
+inline int threads_flag(const Flags& flags) {
+  return static_cast<int>(flags.get_int("threads", 0));
+}
+
 /// If --csv=<path> was passed, write the table's CSV there (for plotting
 /// the figure with external tools).  Returns true if written.
 bool maybe_write_csv(const Flags& flags, const Table& table);

@@ -6,7 +6,7 @@
 // (eps = 1-(1-0.5)^(1/trials)) so the predicted quantile corresponds to
 // the observed maximum.  Pass --eps=... to override.
 //
-//   ./fig3_ocg_tuning [--n=1024] [--trials=1500] [--seed=1]
+//   ./fig3_ocg_tuning [--n=1024] [--threads=0] [--trials=1500] [--seed=1]
 //                     [--tmin=18] [--tmax=36] [--eps=...]
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> pred_pts, sim_pts;
   for (Step T = tmin; T <= tmax; ++T) {
     TrialSpec spec;
+    spec.threads = bench::threads_flag(flags);
     spec.algo = Algo::kOcg;
     spec.acfg.T = T;
     // Generous sweep so that (essentially) every run reaches all nodes;

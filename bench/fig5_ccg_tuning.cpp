@@ -2,7 +2,7 @@
 // complete the algorithm) as a function of the gossip time T.
 // N = n = 1024, L = O = 1.
 //
-//   ./fig5_ccg_tuning [--n=1024] [--trials=1500] [--seed=1]
+//   ./fig5_ccg_tuning [--n=1024] [--threads=0] [--trials=1500] [--seed=1]
 //                     [--tmin=18] [--tmax=36] [--eps=...]
 #include <cstdio>
 #include <vector>
@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> pred_pts, sim_pts;
   for (Step T = tmin; T <= tmax; ++T) {
     TrialSpec spec;
+    spec.threads = bench::threads_flag(flags);
     spec.algo = Algo::kCcg;
     spec.acfg.T = T;
     spec.n = n;

@@ -2,7 +2,7 @@
 // medians for OCG, CCG, FCG; analytic best-case lines for BIG and BFB and
 // the "opt" lower bound.  L = 2 us, O = 1 us, eps = 6.93e-7.
 //
-//   ./fig7a_scaling [--max-n=16384] [--trials=200] [--seed=1] [--eps=...]
+//   ./fig7a_scaling [--max-n=16384] [--threads=0] [--trials=200] [--seed=1] [--eps=...]
 #include <cstdio>
 #include <vector>
 
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
           run_scenario(a, n, 0, logp, trials,
                        derive_seed(seed, static_cast<std::uint64_t>(n) * 8 +
                                              static_cast<std::uint64_t>(a)),
-                       eps, 1, 1);
+                       eps, 1, bench::threads_flag(flags));
       row.push_back(Table::cell(
           "%.0f", logp.us(1) * (r.agg.t_complete.empty()
                                     ? 0.0

@@ -3,7 +3,7 @@
 // lines for BIG and BFB.  "opt" is omitted, as in the paper (it would not
 // be consistent under failures).
 //
-//   ./fig7b_scaling_failures [--max-n=16384] [--trials=200] [--seed=1]
+//   ./fig7b_scaling_failures [--max-n=16384] [--trials=200] [--seed=1] [--threads=0]
 #include <cstdio>
 #include <vector>
 
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
           run_scenario(a, n, fails, logp, trials,
                        derive_seed(seed, static_cast<std::uint64_t>(n) * 8 +
                                              static_cast<std::uint64_t>(a)),
-                       eps, 1, 1);
+                       eps, 1, bench::threads_flag(flags));
       row.push_back(Table::cell(
           "%.0f", logp.us(1) * (r.agg.t_complete.empty()
                                     ? 0.0

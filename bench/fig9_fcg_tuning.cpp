@@ -2,7 +2,7 @@
 // completion time as a function of the gossip time T.
 // N = n = 1024, L = O = 1, f = 1.
 //
-//   ./fig9_fcg_tuning [--n=1024] [--trials=800] [--seed=1] [--f=1]
+//   ./fig9_fcg_tuning [--n=1024] [--threads=0] [--trials=800] [--seed=1] [--f=1]
 //                     [--tmin=22] [--tmax=44] [--eps=...]
 #include <cstdio>
 #include <vector>
@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> pred_pts, sim_pts;
   for (Step T = tmin; T <= tmax; T += 2) {
     TrialSpec spec;
+    spec.threads = bench::threads_flag(flags);
     spec.algo = Algo::kFcg;
     spec.acfg.T = T;
     spec.acfg.fcg_f = f;

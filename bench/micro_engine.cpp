@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "gossip/ccg.hpp"
 #include "gossip/fcg.hpp"
+#include "harness/experiment.hpp"
 #include "harness/runner.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/async_engine.hpp"
@@ -124,8 +125,36 @@ void BM_EngineParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineParallel)
     ->Args({4096, 1})
+    ->Args({4096, 2})
     ->Args({4096, 4})
     ->Args({4096, 8});
+
+// Trial-farm throughput: run_trials() end to end (pool scheduling, engine
+// reuse, deterministic reduction included), items/sec = trials/sec.  The
+// seed advances every iteration so engine reuse cannot cache results, and
+// the aggregate mean is consumed so the work is not dead.  NOTE on the
+// thread sweep: the caller participates as worker 0, so on a 1-core box
+// items/sec stays roughly flat across thread counts instead of showing
+// fictitious speedups (see docs/PERF.md §5 for the accounting argument).
+void BM_TrialFarm(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  constexpr int kTrials = 512;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    TrialSpec spec;
+    spec.algo = Algo::kCcg;
+    spec.acfg.T = 22;
+    spec.n = 256;
+    spec.logp = LogP::piz_daint();
+    spec.trials = kTrials;
+    spec.threads = threads;
+    spec.seed = seed++;
+    const TrialAggregate agg = run_trials(spec);
+    benchmark::DoNotOptimize(agg.work.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * kTrials);
+}
+BENCHMARK(BM_TrialFarm)->Arg(1)->Arg(4)->Arg(8);
 
 // Self-profiling probes: the serial workload with an EngineProfile attached
 // (RunConfig::profile).  Reports the engine's own callbacks/sec counter so

@@ -9,7 +9,7 @@
 // only BFB's model charges ceil(20%) of them as online restarts.  FCG runs
 // with f = 1 ("we always choose f=1").
 //
-//   ./table7_case_study [--n=4096] [--trials=200] [--seed=1] [--eps=6.93e-7]
+//   ./table7_case_study [--n=4096] [--trials=200] [--seed=1] [--eps=6.93e-7] [--threads=0]
 #include <cstdio>
 #include <string>
 
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       const ScenarioResult r = run_scenario(
           sims[a], n, f_hat, logp, trials,
           derive_seed(seed, static_cast<std::uint64_t>(a * 2 + (f_hat > 0))),
-          eps, /*f=*/1, /*threads=*/1);
+          eps, /*f=*/1, bench::threads_flag(flags));
       const PaperRow& p = paper[a][f_hat > 0 ? 1 : 0];
       table.add_row(
           {algo_name(sims[a]), Table::cell("%d", f_hat),

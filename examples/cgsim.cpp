@@ -7,7 +7,7 @@
 //   ./cgsim --algo=fcg --n=4096 --l=2 --o=1 --trials=1000 [--t=37]
 //           [--corr=6] [--f=1] [--pre-fail=3] [--online-fail=1]
 //           [--jitter=0] [--drop-prob=0] [--eps=6.93e-7] [--seed=1]
-//           [--rx=drain|one] [--threads=1] [--drain-extra=0] [--csv]
+//           [--rx=drain|one] [--threads=0] [--drain-extra=0] [--csv]
 //
 // Omitted --t/--corr are tuned from the analytic models at --eps.
 //
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   spec.logp = logp;
   spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   spec.trials = static_cast<int>(flags.get_int("trials", 1000));
-  spec.threads = static_cast<int>(flags.get_int("threads", 1));
+  spec.threads = static_cast<int>(flags.get_int("threads", 0));
   spec.jitter_max = flags.get_int("jitter", 0);
   spec.drop_prob = flags.get_double("drop-prob", flags.get_double("drop", 0.0));
   spec.burst_loss = flags.get_double("burst-loss", 0.0);

@@ -5,7 +5,7 @@
 // (including the SOS backstop), and what the ack/retransmit sublayer
 // (--reliable) buys back once messages can be lost (docs/FAULTS.md).
 //
-//   ./failure_drill [--n=512] [--trials=300] [--seed=7]
+//   ./failure_drill [--n=512] [--threads=0] [--trials=300] [--seed=7]
 //                   [--drop-prob=0] [--burst-loss=0] [--burst-mean=4]
 //                   [--restart=0] [--stragglers=0] [--reliable]
 #include <cstdio>
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     for (const int crashes : {0, 1, 3}) {
       const TunedAlgo tuned = tune_for(a, n, n, logp, eps, /*f=*/1);
       TrialSpec spec;
+      spec.threads = static_cast<int>(flags.get_int("threads", 0));
       spec.algo = a;
       spec.acfg = tuned.acfg;
       spec.acfg.reliable.enabled = reliable;

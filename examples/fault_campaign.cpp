@@ -5,7 +5,7 @@
 // over every trial.  Writes the machine-readable reliability report that
 // docs/FAULTS.md describes.
 //
-//   ./fault_campaign [--n=128] [--trials=100] [--seed=21] [--threads=1]
+//   ./fault_campaign [--n=128] [--trials=100] [--seed=21] [--threads=0]
 //                    [--report-json=campaign.json] [--strict]
 //
 // --strict makes a failed guarantee cell a non-zero exit (CI gate).
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   cfg.logp = LogP::piz_daint();
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
   cfg.trials = static_cast<int>(flags.get_int("trials", 100));
-  cfg.threads = static_cast<int>(flags.get_int("threads", 1));
+  cfg.threads = static_cast<int>(flags.get_int("threads", 0));
 
   const double eps = 1e-4;
   std::vector<CampaignEntry> entries;

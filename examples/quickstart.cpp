@@ -1,7 +1,7 @@
 // Quickstart: tune and run one reliable broadcast at each consistency
 // level on a 1024-node system and print what happened.
 //
-//   ./quickstart [--n=1024] [--threads=2] [--seed=1]
+//   ./quickstart [--n=1024] [--threads=0] [--seed=1]
 #include <cstdio>
 
 #include "common/flags.hpp"
@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   const cg::Flags flags(argc, argv);
   const auto n = static_cast<cg::NodeId>(flags.get_int("n", 1024));
-  const int threads = static_cast<int>(flags.get_int("threads", 2));
+  const int threads = static_cast<int>(flags.get_int("threads", 0));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
   std::printf("corrected-gossip quickstart: N=%d nodes, LogP L=2us O=1us\n\n",

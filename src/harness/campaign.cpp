@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace cg {
 
@@ -85,18 +86,82 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
                             const std::vector<CampaignEntry>& entries) {
   CG_CHECK(cfg.trials >= 1);
   CampaignResult result;
-  result.cells.reserve(scenarios.size() * entries.size());
+  const std::size_t n_cells = scenarios.size() * entries.size();
+  result.cells.reserve(n_cells);
+  std::vector<TrialSpec> specs;
+  specs.reserve(n_cells);
   for (const auto& sc : scenarios) {
     for (const auto& e : entries) {
       CampaignCell cell;
       cell.scenario = sc.name;
       cell.entry = e.label;
       cell.guarantee = effective_guarantee(e.guarantee, sc);
-      cell.agg = run_trials(campaign_trial_spec(cfg, sc, e));
-      cell.pass = guarantee_holds(cell.guarantee, cell.agg);
-      if (!cell.pass) ++result.failed_cells;
       result.cells.push_back(std::move(cell));
+      specs.push_back(campaign_trial_spec(cfg, sc, e));
     }
+  }
+
+  // Flatten the grid into (cell, trial) units so parallelism spans cells,
+  // not just trials within one: a campaign of many small cells would
+  // otherwise leave most workers idle at every cell boundary.  Units
+  // never straddle cells (each worker's cached engine switches workload
+  // at most once per unit), and each unit covers several trials so the
+  // engine reuse amortizes.
+  const std::int64_t total =
+      static_cast<std::int64_t>(n_cells) * cfg.trials;
+  const int threads = static_cast<int>(std::min<std::int64_t>(
+      resolve_threads(cfg.threads), std::max<std::int64_t>(total, 1)));
+  struct Unit {
+    int cell;
+    int t0;
+    int t1;
+  };
+  std::vector<Unit> units;
+  if (threads > 1 && total > 0) {
+    const int unit = static_cast<int>(std::clamp<std::int64_t>(
+        total / (8 * threads), 1, cfg.trials));
+    for (std::size_t c = 0; c < n_cells; ++c)
+      for (int t0 = 0; t0 < cfg.trials; t0 += unit)
+        units.push_back({static_cast<int>(c), t0,
+                         std::min(t0 + unit, cfg.trials)});
+  }
+
+  if (units.empty()) {  // serial path: one workspace, cells in order
+    TrialWorkspace ws;
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      auto& cell = result.cells[c];
+      for (int t = 0; t < cfg.trials; ++t)
+        cell.agg.absorb(ws.run(specs[c], t));
+    }
+  } else {
+    // Per-(cell, trial) result slots, reduced in (cell, trial) order
+    // below - same determinism contract as run_trials.
+    std::vector<RunMetrics> results(static_cast<std::size_t>(total));
+    std::vector<TrialWorkspace> ws(static_cast<std::size_t>(threads));
+    ThreadPool::global(threads).parallel_for(
+        static_cast<std::int64_t>(units.size()), 1, threads,
+        [&](std::int64_t begin, std::int64_t end, int slot) {
+          auto& w = ws[static_cast<std::size_t>(slot)];
+          for (std::int64_t u = begin; u < end; ++u) {
+            const Unit& un = units[static_cast<std::size_t>(u)];
+            const auto base =
+                static_cast<std::int64_t>(un.cell) * cfg.trials;
+            for (int t = un.t0; t < un.t1; ++t)
+              results[static_cast<std::size_t>(base + t)] =
+                  w.run(specs[static_cast<std::size_t>(un.cell)], t);
+          }
+        });
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      auto& cell = result.cells[c];
+      const auto base = static_cast<std::int64_t>(c) * cfg.trials;
+      for (int t = 0; t < cfg.trials; ++t)
+        cell.agg.absorb(results[static_cast<std::size_t>(base + t)]);
+    }
+  }
+
+  for (auto& cell : result.cells) {
+    cell.pass = guarantee_holds(cell.guarantee, cell.agg);
+    if (!cell.pass) ++result.failed_cells;
   }
   return result;
 }

@@ -60,7 +60,10 @@ struct CampaignConfig {
   RxPolicy rx = RxPolicy::kDrainAll;
   std::uint64_t seed = 1;
   int trials = 100;
-  int threads = 1;
+  /// Pool participants; <= 0 = auto (hardware_concurrency).  The campaign
+  /// parallelizes across cells x trials, not just within a cell, and its
+  /// result is byte-identical for every thread count (see run_campaign).
+  int threads = 0;
   Step max_steps = 0;  ///< 0 = engine auto limit
 };
 
@@ -87,7 +90,11 @@ TrialSpec campaign_trial_spec(const CampaignConfig& cfg,
                               const FaultScenario& scenario,
                               const CampaignEntry& entry);
 
-/// Run the full scenarios x entries grid.
+/// Run the full scenarios x entries grid.  Work is flattened across
+/// cells x trials onto the process-wide ThreadPool, so small per-cell
+/// trial counts still use every worker; per-trial results are reduced in
+/// (cell, trial) order, making the whole CampaignResult byte-identical
+/// for any cfg.threads (tests/test_trial_farm.cpp).
 CampaignResult run_campaign(const CampaignConfig& cfg,
                             const std::vector<FaultScenario>& scenarios,
                             const std::vector<CampaignEntry>& entries);

@@ -1,12 +1,11 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/fault/burst_loss.hpp"
 #include "sim/fault/partition.hpp"
 #include "sim/fault/stragglers.hpp"
@@ -61,8 +60,11 @@ void TrialAggregate::merge(const TrialAggregate& o) {
   msgs_dropped_total += o.msgs_dropped_total;
 }
 
-RunConfig trial_run_config(const TrialSpec& spec, int trial) {
-  RunConfig rcfg;
+void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out) {
+  RunConfig& rcfg = out;
+  // Reset every field a previous trial could have touched; the vectors
+  // keep their capacity (the clean path never refills them, so the reused
+  // config performs no heap allocation at all).
   rcfg.n = spec.n;
   rcfg.root = spec.root;
   rcfg.logp = spec.logp;
@@ -71,6 +73,17 @@ RunConfig trial_run_config(const TrialSpec& spec, int trial) {
   rcfg.drop_prob = spec.drop_prob;
   rcfg.seed = derive_seed(spec.seed, static_cast<std::uint64_t>(trial) * 2 + 1);
   rcfg.max_steps = spec.max_steps;
+  rcfg.record_node_detail = false;
+  rcfg.trace = nullptr;
+  rcfg.profile = nullptr;
+  rcfg.link_extra = nullptr;
+  rcfg.link_extra_max = 0;
+  rcfg.burst = BurstLoss{};
+  rcfg.failures.pre_failed.clear();
+  rcfg.failures.online.clear();
+  rcfg.failures.restarts.clear();
+  rcfg.stragglers.clear();
+  rcfg.partitions.clear();
   if (spec.burst_loss > 0)
     rcfg.burst = BurstLoss::from_rate(spec.burst_loss, spec.burst_mean);
 
@@ -113,38 +126,72 @@ RunConfig trial_run_config(const TrialSpec& spec, int trial) {
           spec.n, spec.partition_nodes, from, until, frng, spec.root));
     }
   }
+}
+
+RunConfig trial_run_config(const TrialSpec& spec, int trial) {
+  RunConfig rcfg;
+  trial_run_config_into(spec, trial, rcfg);
   return rcfg;
 }
 
+// ---------------------------------------------------------------------------
+// TrialWorkspace
+// ---------------------------------------------------------------------------
+
+struct TrialWorkspace::Impl {
+  RunConfig rcfg;     // reused: vectors keep their capacity across trials
+  EngineCache cache;  // reused: engine slabs keep their capacity too
+};
+
+TrialWorkspace::TrialWorkspace() : impl_(std::make_unique<Impl>()) {}
+TrialWorkspace::~TrialWorkspace() = default;
+TrialWorkspace::TrialWorkspace(TrialWorkspace&&) noexcept = default;
+TrialWorkspace& TrialWorkspace::operator=(TrialWorkspace&&) noexcept = default;
+
+RunMetrics TrialWorkspace::run(const TrialSpec& spec, int trial) {
+  trial_run_config_into(spec, trial, impl_->rcfg);
+  return impl_->cache.run_once(spec.algo, spec.acfg, impl_->rcfg);
+}
+
+// ---------------------------------------------------------------------------
+// run_trials
+// ---------------------------------------------------------------------------
+
 namespace {
 
-RunMetrics one_trial(const TrialSpec& spec, int trial) {
-  return run_once(spec.algo, spec.acfg, trial_run_config(spec, trial));
+// Chunk size for the pool: small enough that ~8 chunks per participant
+// keep the tail balanced when trial durations vary, large enough to
+// amortize the claim (one relaxed fetch_add per chunk).
+std::int64_t farm_chunk(int trials, int threads) {
+  return std::clamp<std::int64_t>(trials / (8 * threads), 1, 64);
 }
 
 }  // namespace
 
 TrialAggregate run_trials(const TrialSpec& spec) {
   CG_CHECK(spec.trials >= 1);
-  const int threads = std::max(1, spec.threads);
-  if (threads == 1) {
-    TrialAggregate agg;
-    for (int t = 0; t < spec.trials; ++t) agg.absorb(one_trial(spec, t));
+  const int threads = std::min(resolve_threads(spec.threads), spec.trials);
+  TrialAggregate agg;
+  if (threads <= 1) {
+    TrialWorkspace ws;
+    for (int t = 0; t < spec.trials; ++t) agg.absorb(ws.run(spec, t));
     return agg;
   }
 
-  std::vector<TrialAggregate> partial(static_cast<std::size_t>(threads));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      for (int t = w; t < spec.trials; t += threads)
-        partial[static_cast<std::size_t>(w)].absorb(one_trial(spec, t));
-    });
-  }
-  for (auto& th : pool) th.join();
-  TrialAggregate agg;
-  for (const auto& p : partial) agg.merge(p);
+  // Workers write results into per-trial slots; the reduction below runs
+  // in trial order, so the aggregate is byte-identical to the serial path
+  // no matter how the pool interleaved the work.
+  std::vector<RunMetrics> results(static_cast<std::size_t>(spec.trials));
+  std::vector<TrialWorkspace> ws(static_cast<std::size_t>(threads));
+  ThreadPool::global(threads).parallel_for(
+      spec.trials, farm_chunk(spec.trials, threads), threads,
+      [&](std::int64_t begin, std::int64_t end, int slot) {
+        auto& w = ws[static_cast<std::size_t>(slot)];
+        for (std::int64_t t = begin; t < end; ++t)
+          results[static_cast<std::size_t>(t)] =
+              w.run(spec, static_cast<int>(t));
+      });
+  for (const auto& m : results) agg.absorb(m);
   return agg;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -23,7 +24,10 @@ struct TrialSpec {
   double drop_prob = 0;  ///< i.i.d. message loss probability
   std::uint64_t seed = 1;
   int trials = 1000;
-  int threads = 1;  ///< worker threads (trials are embarrassingly parallel)
+  /// Worker threads (trials are embarrassingly parallel); <= 0 = auto
+  /// (hardware_concurrency).  The aggregate is byte-identical for every
+  /// value - see run_trials.
+  int threads = 1;
 
   // Failure sampling per trial (fresh schedule each trial).
   int pre_failures = 0;
@@ -88,7 +92,39 @@ struct TrialAggregate {
 /// extra instrumentation (trace sinks, profiles) attached.
 RunConfig trial_run_config(const TrialSpec& spec, int trial);
 
-/// Run `spec.trials` independent trials (seeded from spec.seed).
+/// In-place variant: fill `out` (reusing its vectors' capacity) instead of
+/// returning a fresh RunConfig.  The trial farm's zero-alloc path.
+void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out);
+
+/// Per-worker trial executor: owns a reused RunConfig and an EngineCache
+/// so consecutive trials reset-and-reuse the engine's slabs instead of
+/// reconstructing them.  After warm-up, run() performs zero heap
+/// allocations for fault-free specs whose node constructor is
+/// allocation-free (GOS/OCG/CCG without the reliable sublayer) - pinned
+/// by tests/test_trial_farm.cpp.  Not thread-safe; make one per worker.
+class TrialWorkspace {
+ public:
+  TrialWorkspace();
+  ~TrialWorkspace();
+  TrialWorkspace(TrialWorkspace&&) noexcept;
+  TrialWorkspace& operator=(TrialWorkspace&&) noexcept;
+
+  /// Execute trial #`trial` of `spec`; same result as
+  /// run_once(spec.algo, spec.acfg, trial_run_config(spec, trial)).
+  RunMetrics run(const TrialSpec& spec, int trial);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run `spec.trials` independent trials (seeded from spec.seed) on the
+/// process-wide ThreadPool (spec.threads participants; <= 0 = auto).
+///
+/// Determinism contract: per-trial results are written into a slot indexed
+/// by trial number and reduced in trial order, so the aggregate - samples,
+/// percentiles, every counter - is byte-identical for ANY thread count or
+/// pool shape (tests/test_trial_farm.cpp).
 TrialAggregate run_trials(const TrialSpec& spec);
 
 }  // namespace cg

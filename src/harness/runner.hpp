@@ -1,6 +1,8 @@
 // Uniform entry point: run one simulated broadcast of any algorithm.
 #pragma once
 
+#include <memory>
+
 #include "common/types.hpp"
 #include "gossip/reliable.hpp"
 #include "sim/engine.hpp"
@@ -59,5 +61,36 @@ struct ExecConfig {
 /// Run one trial on an explicitly chosen engine.
 RunMetrics run_once(Algo algo, const AlgoConfig& acfg, const RunConfig& rcfg,
                     const ExecConfig& exec);
+
+/// Reusable stepped-engine storage for bulk trials.
+///
+/// run_once constructs a fresh Engine per call - node slab, RNG streams,
+/// calendar slots, inboxes - which dominates the cost of short trials.
+/// An EngineCache keeps the last engine alive (one per node type; switching
+/// algorithms rebuilds it) and re-enters it through Engine::run(cfg,
+/// params), so steady-state trials reuse every allocation.  Produces
+/// exactly the metrics run_once would for the same inputs.
+///
+/// One instance per worker thread; a single instance is not thread-safe.
+class EngineCache {
+ public:
+  EngineCache();
+  ~EngineCache();
+  EngineCache(EngineCache&&) noexcept;
+  EngineCache& operator=(EngineCache&&) noexcept;
+
+  /// Stepped-engine equivalent of the free run_once (same CG_CHECK
+  /// config-validation behavior).
+  RunMetrics run_once(Algo algo, const AlgoConfig& acfg,
+                      const RunConfig& rcfg);
+
+  /// Type-erased holder for the cached Engine<Node> (detail).
+  struct SlotBase {
+    virtual ~SlotBase() = default;
+  };
+
+ private:
+  std::unique_ptr<SlotBase> slot_;
+};
 
 }  // namespace cg

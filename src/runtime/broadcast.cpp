@@ -7,6 +7,7 @@
 #include "gossip/fcg.hpp"
 #include "gossip/ocg.hpp"
 #include "runtime/parallel_engine.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace cg {
 
@@ -25,6 +26,7 @@ std::string BroadcastReport::summary() const {
 BroadcastReport reliable_broadcast(const BroadcastOptions& opts,
                                    std::uint64_t seed) {
   CG_CHECK(opts.n >= 1);
+  const int threads = resolve_threads(opts.threads);
   const Algo algo = opts.consistency == Consistency::kWeak      ? Algo::kOcg
                     : opts.consistency == Consistency::kChecked ? Algo::kCcg
                                                                 : Algo::kFcg;
@@ -46,14 +48,14 @@ BroadcastReport reliable_broadcast(const BroadcastOptions& opts,
       OcgNode::Params p;
       p.T = tuned.acfg.T;
       p.corr_sends = tuned.acfg.ocg_corr_sends;
-      ParallelEngine<OcgNode> eng(rcfg, p, opts.threads);
+      ParallelEngine<OcgNode> eng(rcfg, p, threads);
       m = eng.run();
       break;
     }
     case Algo::kCcg: {
       CcgNode::Params p;
       p.T = tuned.acfg.T;
-      ParallelEngine<CcgNode> eng(rcfg, p, opts.threads);
+      ParallelEngine<CcgNode> eng(rcfg, p, threads);
       m = eng.run();
       break;
     }
@@ -61,7 +63,7 @@ BroadcastReport reliable_broadcast(const BroadcastOptions& opts,
       FcgNode::Params p;
       p.T = tuned.acfg.T;
       p.f = opts.f;
-      ParallelEngine<FcgNode> eng(rcfg, p, opts.threads);
+      ParallelEngine<FcgNode> eng(rcfg, p, threads);
       m = eng.run();
       break;
     }

@@ -26,7 +26,9 @@ struct BroadcastOptions {
   double eps = 6.9315e-7;   ///< failure budget for the tuning models
   int f = 1;                ///< FCG resilience
   NodeId root = 0;
-  int threads = 1;          ///< worker threads for the parallel runtime
+  /// Worker threads for the parallel runtime; <= 0 = auto
+  /// (hardware_concurrency).
+  int threads = 1;
   FailureSchedule failures{};
 };
 

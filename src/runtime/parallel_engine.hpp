@@ -5,33 +5,56 @@
 // tests/test_engine_parity.cpp verifies for every corrected-gossip
 // protocol.
 //
-// Structure per global step, for each worker thread w owning the nodes
-// { i : i % threads == w }:
+// Ownership: nodes are split into CONTIGUOUS blocks, one per worker,
+// rounded up to a 64-node boundary.  Per-node hot state lives in parallel
+// arrays at byte/word granularity (NodeStateStore bytes, RNG streams,
+// queue headers), so block ownership - unlike the modulo striding this
+// engine used before - keeps each worker's writes on its own cache lines
+// instead of interleaving every array at element granularity (the false
+// sharing behind the old 4 -> 8 thread regression).
+//
+// Structure per global step, for each worker thread w owning block(w):
 //   phase A: apply due failures; deliver due messages (on_receive); tick
-//            active nodes (on_tick); stage outgoing messages in a
-//            thread-local outbox;
-//   barrier (completion function aggregates active/in-flight counts,
-//            merges per-worker trace buffers, and decides termination);
-//   phase B: route every staged message destined to an owned node into
-//            that node's timed queue;
-//   barrier.
+//            active nodes (on_tick); stage outgoing messages in the
+//            worker's PARITY outbox for this step;
+//   barrier (sense-reversing, runtime/sync_barrier.hpp; its completion
+//            function folds per-worker deltas, merges trace buffers in
+//            worker order, advances the step and decides termination);
+//   phase B: route every message staged this step (any worker's outbox of
+//            the step's parity) destined to an owned node into that
+//            node's timed queue.
+//
+// This is ONE barrier per step where the previous design used two.  The
+// second barrier (between phase B and the next phase A) is replaced by
+// double-buffered outboxes indexed by step parity: phase A of step s
+// writes outbox[s&1], phase B of step s reads every worker's outbox[s&1],
+// and the buffer is reused (cleared by its owner) at phase A of step s+2
+// - by which point every reader has long since passed the barrier after
+// step s+1, so no synchronization is needed.  Phase B itself writes only
+// queues the writing worker owns, and phase A of s+1 reads only queues
+// its worker owns, so B(s) and A(s+1) may overlap across workers freely.
 //
 // The model itself (delays/jitter/loss, node lifecycle, emission gate,
 // metrics finalization, Ctx surface) is shared with the other engines via
-// src/sim/core/.  The core classes keep per-node state at byte granularity
-// and per-sender RNG streams, so the ownership discipline above - node i is
-// only ever mutated by worker i % threads during a phase - is free of data
+// src/sim/core/.  The ownership discipline - node i is only ever mutated
+// by owner_of(i) during a phase - keeps the whole thing free of data
 // races (TSan-checked via the `sanitize` ctest label).
+//
+// The CALLING thread participates as worker 0 and the engine spawns only
+// threads-1 helpers.  Besides saving a thread, this makes per-thread CPU
+// accounting honest: the caller's CPU time reflects the work it did, not
+// a join() wait (see docs/PERF.md §5 on benchmark accounting).
 #pragma once
 
 #include <algorithm>
-#include <barrier>
+#include <array>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "runtime/sync_barrier.hpp"
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/inbox.hpp"
 #include "sim/core/network_model.hpp"
@@ -99,8 +122,10 @@ class ParallelEngine {
     Message msg;
   };
 
-  struct WorkerState {
-    std::vector<TimedMsg> outbox;      // staged sends this step
+  // One cache-line-aligned block per worker: everything a worker mutates
+  // every step lives here, never on a line another worker writes.
+  struct alignas(64) WorkerState {
+    std::array<std::vector<TimedMsg>, 2> outbox;  // indexed by step parity
     std::int64_t active_delta = 0;     // activations - completions this step
     std::int64_t sent = 0;             // messages staged this step
     std::int64_t delivered = 0;        // messages consumed this step
@@ -116,8 +141,18 @@ class ParallelEngine {
     std::int64_t prof_max_bucket = 0;  // peak one-node timed-queue occupancy
     double prof_phase_a_s = 0;
     double prof_phase_b_s = 0;
-    char pad[64];                      // avoid false sharing
   };
+
+  // Contiguous block ownership, 64-node-aligned (see file comment).
+  int owner_of(NodeId i) const {
+    return std::min(static_cast<int>(i / block_), threads_ - 1);
+  }
+  NodeId block_begin(int w) const {
+    return std::min(static_cast<NodeId>(w) * block_, cfg_.n);
+  }
+  NodeId block_end(int w) const {
+    return std::min((static_cast<NodeId>(w) + 1) * block_, cfg_.n);
+  }
 
   void do_send(int worker, NodeId from, NodeId to, const Message& m) {
     CG_CHECK(to >= 0 && to < cfg_.n);
@@ -136,7 +171,7 @@ class ParallelEngine {
 
     Message out = m;
     out.src = from;
-    ws.outbox.push_back({at, to, out});
+    ws.outbox[static_cast<std::size_t>(step_ & 1)].push_back({at, to, out});
     ++ws.sent;
     if (cfg_.profile != nullptr) ++ws.prof_scheduled;
   }
@@ -234,6 +269,7 @@ class ParallelEngine {
   RunConfig cfg_;
   Params params_;
   int threads_;
+  NodeId block_ = 1;  // nodes per worker block (64-aligned)
 
   Step step_ = 0;
   std::vector<Node> nodes_;
@@ -256,6 +292,12 @@ class ParallelEngine {
 template <class Node>
 RunMetrics ParallelEngine<Node>::run() {
   const auto n = static_cast<std::size_t>(cfg_.n);
+  // Block size: even split, rounded up to a 64-node boundary so two
+  // workers never write the same cache line of any per-node byte array.
+  block_ = (cfg_.n + static_cast<NodeId>(threads_) - 1) /
+           static_cast<NodeId>(threads_);
+  block_ = ((block_ + 63) / 64) * 64;
+  if (block_ < 1) block_ = 1;
   nodes_.clear();
   nodes_.reserve(n);
   for (NodeId i = 0; i < cfg_.n; ++i) nodes_.emplace_back(params_, i, cfg_.n);
@@ -299,11 +341,13 @@ RunMetrics ParallelEngine<Node>::run() {
   for (NodeId i = 0; i < cfg_.n; ++i) {
     if (!store_.alive(i)) continue;
     if (prof != nullptr) ++prof->callbacks_start;
-    WorkerView view{this, static_cast<int>(i) % threads_};
+    WorkerView view{this, owner_of(i)};
     Ctx ctx(view, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
   }
   // on_start completions adjust deltas; fold them in before stepping.
+  // (on_start sends staged into outbox[0] survive: phase A only clears
+  // its parity outbox from step 1 on.)
   for (auto& ws : workers_) {
     active_count_ += ws.active_delta;
     ws.active_delta = 0;
@@ -312,7 +356,7 @@ RunMetrics ParallelEngine<Node>::run() {
 
   const Step max_steps = cfg_.effective_max_steps();
 
-  auto on_phase_a_done = [this, max_steps]() noexcept {
+  auto on_step_done = [this, max_steps]() noexcept {
     for (auto& ws : workers_) {
       active_count_ += ws.active_delta;
       in_flight_ += ws.sent - ws.delivered;
@@ -332,21 +376,33 @@ RunMetrics ParallelEngine<Node>::run() {
       stop_ = true;
     }
   };
-  std::barrier bar_a(threads_, on_phase_a_done);
-  std::barrier bar_b(threads_);
+  // Spin only when every thread can actually run at once; oversubscribed
+  // configurations go straight to the futex so the last arriver gets the
+  // core (on a 1-core host, spinning at a barrier is pure waste).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int spin =
+      (hw != 0 && static_cast<unsigned>(threads_) <= hw) ? 2048 : 0;
+  SenseBarrier bar(threads_, on_step_done, spin);
 
-  auto worker_fn = [this, &bar_a, &bar_b](int w) {
-    const auto me = static_cast<NodeId>(w);
+  auto worker_fn = [this, &bar](int w) {
+    const NodeId lo = block_begin(w);
+    const NodeId hi = block_end(w);
     const bool one_per_step = cfg_.rx == RxPolicy::kOnePerStep;
     auto& ws = workers_[static_cast<std::size_t>(w)];
     std::vector<TimedMsg> due;
     const bool profiled = cfg_.profile != nullptr;
-    while (!stop_) {
+    for (;;) {
       const Step s = step_;
+      const auto par = static_cast<std::size_t>(s & 1);
       const auto prof_a0 =
           profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
       // --- phase A: failures, deliveries, ticks ---
-      for (NodeId i = me; i < cfg_.n; i += threads_) {
+      // Reuse this parity's outbox.  Its last readers (phase B of step
+      // s-2) all passed the step-(s-1) barrier before we entered step s,
+      // so the clear is unsynchronized but safe.  Step 0 must NOT clear:
+      // outbox[0] holds the on_start sends.
+      if (s > 0) ws.outbox[par].clear();
+      for (NodeId i = lo; i < hi; ++i) {
         const auto idx = static_cast<std::size_t>(i);
         if (store_.alive(i) && crash_at_[idx] <= s) {
           const auto t = store_.kill(i);
@@ -371,38 +427,36 @@ RunMetrics ParallelEngine<Node>::run() {
           if (profiled) ++ws.prof_tick;
           WorkerView view{this, w};
           Ctx ctx(view, i);
-          nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
+          nodes_[idx].on_tick(ctx);
         }
       }
       if (profiled) ws.prof_phase_a_s += ProfileClock::seconds_since(prof_a0);
-      bar_a.arrive_and_wait();
-      if (stop_) {
-        bar_b.arrive_and_wait();
-        break;
-      }
+      bar.arrive_and_wait();
+      if (stop_) break;
       const auto prof_b0 =
           profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
-      // --- phase B: route staged messages to owned nodes ---
+      // --- phase B: route messages staged this step to owned nodes ---
+      // Reads every worker's parity-`par` outbox (all sealed at the
+      // barrier above); writes only queues this worker owns, which phase
+      // A of the next step reads only on this same thread.
       for (const auto& other : workers_) {
-        for (const auto& tm : other.outbox) {
-          if (tm.to % threads_ == me) {
+        for (const auto& tm : other.outbox[par]) {
+          if (tm.to >= lo && tm.to < hi)
             queue_[static_cast<std::size_t>(tm.to)].push_back(tm);
-          }
         }
       }
       if (profiled) ws.prof_phase_b_s += ProfileClock::seconds_since(prof_b0);
-      bar_b.arrive_and_wait();
-      // outboxes cleared by their owners after everyone routed
-      ws.outbox.clear();
     }
   };
 
   if (threads_ == 1) {
     worker_fn(0);
   } else {
+    // The caller is worker 0; spawn only the helpers.
     std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads_));
-    for (int w = 0; w < threads_; ++w) pool.emplace_back(worker_fn, w);
+    pool.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w) pool.emplace_back(worker_fn, w);
+    worker_fn(0);
     for (auto& th : pool) th.join();
   }
 

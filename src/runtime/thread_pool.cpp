@@ -1,0 +1,178 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace cg {
+
+namespace {
+// Set while a thread is executing pool work (worker thread inside a job,
+// or any thread inside an inline/nested parallel_for body).  Nested
+// submissions from such a thread run inline instead of re-entering the
+// pool: the pool's threads are already saturated, and blocking a worker
+// on a sub-job could deadlock.
+thread_local bool t_in_pool_work = false;
+}  // namespace
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct ThreadPool::Job {
+  ChunkFn fn;                         // copied: must outlive late wakers
+  std::int64_t count = 0;
+  std::int64_t chunk = 1;
+  int max_slots = 1;
+  std::atomic<std::int64_t> next{0};  // first unclaimed item
+  std::atomic<std::int64_t> done{0};  // items finished (claimed chunks only)
+  std::atomic<int> slots{1};          // next participant slot (0 = caller)
+  std::mutex mu;                      // guards error; pairs with done_cv
+  std::condition_variable done_cv;    // signaled when done reaches count
+  std::exception_ptr error;           // first exception wins
+};
+
+ThreadPool::ThreadPool(int threads) {
+  ensure_threads(threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+int ThreadPool::threads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size()) + 1;
+}
+
+void ThreadPool::ensure_threads(int threads) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto want = static_cast<std::size_t>(std::max(0, threads - 1));
+  while (workers_.size() < want)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;  // shared: keeps the job alive past the caller
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+    }
+    if (!job) continue;  // job already drained and retired
+    t_in_pool_work = true;
+    participate(*job);
+    t_in_pool_work = false;
+  }
+}
+
+// Claim a participant slot; excess workers (slot >= max_slots) bow out so
+// a parallelism-capped job never runs wider than requested.
+void ThreadPool::participate(Job& job) {
+  const int slot = job.slots.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= job.max_slots) return;
+  run_chunks(job, slot);
+}
+
+void ThreadPool::run_chunks(Job& job, int slot) {
+  for (;;) {
+    const std::int64_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.count) return;
+    const std::int64_t end = std::min(begin + job.chunk, job.count);
+    try {
+      job.fn(begin, end, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    // Credit the chunk even on exception so the caller's drain completes.
+    const std::int64_t finished =
+        job.done.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    if (finished == job.count) {
+      // Lock before notifying so the caller cannot check its predicate
+      // between our increment and the notify (missed-wakeup hazard).
+      std::lock_guard<std::mutex> lk(job.mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count, std::int64_t chunk,
+                              int parallelism, const ChunkFn& fn) {
+  if (count <= 0) return;
+  chunk = std::max<std::int64_t>(1, chunk);
+  // Inline paths: nested call, single participant, or a range that one
+  // chunk covers anyway.  Chunk boundaries are preserved so the body sees
+  // the same (begin, end) partition as the threaded path.
+  if (t_in_pool_work || parallelism <= 1 || count <= chunk ||
+      threads() <= 1) {
+    const bool outer = !t_in_pool_work;
+    t_in_pool_work = true;
+    try {
+      for (std::int64_t b = 0; b < count; b += chunk)
+        fn(b, std::min(b + chunk, count), 0);
+    } catch (...) {
+      if (outer) t_in_pool_work = false;
+      throw;
+    }
+    if (outer) t_in_pool_work = false;
+    return;
+  }
+
+  // One job at a time: a second top-level caller queues behind the first
+  // rather than racing for workers (its range still completes).
+  std::lock_guard<std::mutex> submit(submit_mu_);
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->count = count;
+  job->chunk = chunk;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job->max_slots = std::min(parallelism, static_cast<int>(workers_.size()) + 1);
+    job_ = job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is participant 0 (slot pre-claimed by slots{1} above).
+  t_in_pool_work = true;
+  run_chunks(*job, 0);
+  t_in_pool_work = false;
+
+  // Wait for workers still finishing claimed chunks, then retire the job.
+  // done only ever reaches count once every claimed chunk ran, and late-
+  // waking workers see either a null job_ or an exhausted counter.
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->done_cv.wait(lk, [&] {
+      return job->done.load(std::memory_order_acquire) == count;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::global(int min_threads) {
+  static ThreadPool pool(resolve_threads(0));
+  if (min_threads > pool.threads()) pool.ensure_threads(min_threads);
+  return pool;
+}
+
+}  // namespace cg

@@ -1,0 +1,102 @@
+// Persistent worker pool for the trial farm.
+//
+// run_trials() used to spawn raw std::threads per call with a static
+// stride (trial t went to worker t % threads).  That costs a thread
+// create/join per worker per call, and static striding load-balances
+// badly when trial durations vary (faulty trials run longer than clean
+// ones).  This pool keeps its workers alive across calls and schedules
+// chunks dynamically: participants claim [next, next+chunk) ranges off a
+// shared atomic counter until the range space is exhausted, so a slow
+// chunk never idles the other workers.
+//
+// Design points:
+//   * The CALLING thread participates as slot 0 and claims chunks like
+//     any worker.  Besides using all available cores, this keeps the
+//     caller's CPU time proportional to the work it performed, which is
+//     what makes per-thread benchmark accounting honest (docs/PERF.md §5).
+//   * Slots, not threads: a parallel_for with `parallelism` P hands out
+//     participant slots 0..P-1 (0 = caller).  Callers use the slot index
+//     to address per-participant workspaces; at most P participants run
+//     the body concurrently even when the pool has more workers.
+//   * Nested calls run inline.  A parallel_for issued from inside a pool
+//     worker executes its whole range on that worker with slot 0 - no
+//     deadlock, and the caller's per-call workspace array (sized for its
+//     own parallelism) still indexes correctly because each call site
+//     owns its workspaces.
+//   * Exceptions: the first exception thrown by the body is captured and
+//     rethrown on the calling thread after every chunk finished; the pool
+//     stays usable.
+//
+// Determinism: the pool schedules WHERE work runs, never changes WHAT the
+// work computes.  Farm-level determinism (byte-identical aggregates for
+// any thread count) is the caller's contract: write results indexed by
+// item, reduce in item order (see run_trials).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cg {
+
+/// Resolve a user-facing thread-count knob: <= 0 means "auto" =
+/// std::thread::hardware_concurrency() (>= 1 even when unknown).
+int resolve_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// fn(begin, end, slot): process items [begin, end); `slot` identifies
+  /// the participant (0 = calling thread) and is < the call's parallelism.
+  using ChunkFn = std::function<void(std::int64_t begin, std::int64_t end,
+                                     int slot)>;
+
+  /// A pool of `threads` participants total: threads-1 background workers
+  /// plus the calling thread.  threads <= 1 means no background workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Max participants a parallel_for can use (background workers + 1).
+  int threads() const;
+
+  /// Grow the worker set so threads() >= `threads`.  Never shrinks.
+  void ensure_threads(int threads);
+
+  /// Run fn over [0, count) in chunks of `chunk` items, with at most
+  /// `parallelism` concurrent participants (clamped to [1, threads()]).
+  /// Blocks until the whole range is processed; rethrows the first
+  /// exception the body threw.  Safe to call concurrently from multiple
+  /// threads (calls serialize) and from inside the body (runs inline).
+  void parallel_for(std::int64_t count, std::int64_t chunk, int parallelism,
+                    const ChunkFn& fn);
+  void parallel_for(std::int64_t count, std::int64_t chunk, const ChunkFn& fn) {
+    parallel_for(count, chunk, threads(), fn);
+  }
+
+  /// The process-wide pool, lazily created with auto-detected size and
+  /// grown on demand (never shrunk).  Workers idle on a condition
+  /// variable between jobs and cost nothing while the farm is quiet.
+  static ThreadPool& global(int min_threads = 0);
+
+ private:
+  struct Job;
+
+  void worker_main();
+  static void participate(Job& job);
+  static void run_chunks(Job& job, int slot);
+
+  mutable std::mutex mu_;                // guards job_/job_seq_/stop_/workers_
+  std::condition_variable work_cv_;      // workers: new job or stop
+  std::mutex submit_mu_;                 // serializes top-level parallel_for
+  std::shared_ptr<Job> job_;             // current job (null when idle)
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cg

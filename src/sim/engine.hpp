@@ -66,7 +66,22 @@ class Engine {
     cfg_.logp.validate();
   }
 
-  RunMetrics run();
+  RunMetrics run() { return run_impl(); }
+
+  /// Run with a fresh config/params, REUSING this engine's allocated state
+  /// (node slab, RNG streams, calendar slots, inboxes, scratch).  This is
+  /// the trial-farm entry point (harness TrialWorkspace): steady-state
+  /// reruns of fault-free configs perform zero heap allocations when the
+  /// Node constructor itself is allocation-free (tests/test_trial_farm.cpp
+  /// pins this).  Produces exactly the metrics a fresh Engine would.
+  RunMetrics run(const RunConfig& cfg, const Params& params) {
+    cfg_ = cfg;  // copy-assign: vector members reuse capacity
+    params_ = params;
+    CG_CHECK(cfg_.n >= 1);
+    CG_CHECK(cfg_.root >= 0 && cfg_.root < cfg_.n);
+    cfg_.logp.validate();
+    return run_impl();
+  }
 
   /// Access a node's protocol state after (or during) the run - tests only.
   const Node& node(NodeId i) const { return nodes_[static_cast<std::size_t>(i)]; }
@@ -104,6 +119,7 @@ class Engine {
     Message msg;
   };
 
+  RunMetrics run_impl();
   void do_send(NodeId from, NodeId to, const Message& m);
   void apply_failure(NodeId i);
   void apply_restart(NodeId i);
@@ -128,6 +144,9 @@ class Engine {
   std::vector<InboxBuf> inbox_;                  // kOnePerStep only
   std::vector<Step> inbox_stamp_;                // kOnePerStep scratch
   std::vector<std::size_t> inbox_tail_;          // kOnePerStep scratch
+  std::vector<Delivery> due_;                    // per-step scratch
+  std::vector<OnlineFailure> online_scratch_;    // sorted crash schedule
+  std::vector<Restart> revive_scratch_;          // sorted revival schedule
   std::int64_t in_flight_ = 0;
   NodeId active_count_ = 0;
   RunMetrics metrics_{};
@@ -197,7 +216,7 @@ void Engine<Node>::dispatch(NodeId to, const Message& m) {
 }
 
 template <class Node>
-RunMetrics Engine<Node>::run() {
+RunMetrics Engine<Node>::run_impl() {
   const auto n = static_cast<std::size_t>(cfg_.n);
   nodes_.clear();
   nodes_.reserve(n);
@@ -211,9 +230,20 @@ RunMetrics Engine<Node>::run() {
   store_.reset(cfg_.n);
   gate_.reset(cfg_.n);
   counts_ = MessageCounts{};
-  calendar_.assign(static_cast<std::size_t>(net_.max_delay()) + 1, {});
+  // Reset the ring to D+1 empty slots, keeping each slot's capacity when
+  // the delay structure is unchanged (the trial-farm steady state).
+  const auto cal_slots = static_cast<std::size_t>(net_.max_delay()) + 1;
+  if (calendar_.size() == cal_slots) {
+    for (auto& slot : calendar_) slot.clear();
+  } else {
+    calendar_.assign(cal_slots, {});
+  }
   if (cfg_.rx == RxPolicy::kOnePerStep) {
-    inbox_.assign(n, {});
+    if (inbox_.size() == n) {
+      for (auto& box : inbox_) box.clear();
+    } else {
+      inbox_.assign(n, {});
+    }
     inbox_stamp_.assign(n, -1);
     inbox_tail_.assign(n, 0);
   }
@@ -227,8 +257,12 @@ RunMetrics Engine<Node>::run() {
   CG_CHECK_MSG(store_.alive(cfg_.root), "root must be active at start");
 
   // Sort crash events (online failures + restart downs, in that order for
-  // same-step determinism across engines) and revivals by time.
-  auto online = cfg_.failures.online;
+  // same-step determinism across engines) and revivals by time.  Member
+  // scratch so reruns reuse the vectors' capacity.
+  auto& online = online_scratch_;
+  online.clear();
+  online.insert(online.end(), cfg_.failures.online.begin(),
+                cfg_.failures.online.end());
   for (const auto& r : cfg_.failures.restarts)
     online.push_back({r.node, r.down_at});
   std::stable_sort(online.begin(), online.end(),
@@ -236,7 +270,10 @@ RunMetrics Engine<Node>::run() {
                      return a.at_step < b.at_step;
                    });
   std::size_t next_failure = 0;
-  auto revives = cfg_.failures.restarts;
+  auto& revives = revive_scratch_;
+  revives.clear();
+  revives.insert(revives.end(), cfg_.failures.restarts.begin(),
+                 cfg_.failures.restarts.end());
   std::stable_sort(revives.begin(), revives.end(),
                    [](const Restart& a, const Restart& b) {
                      return a.up_at < b.up_at;
@@ -259,7 +296,7 @@ RunMetrics Engine<Node>::run() {
   }
 
   const Step max_steps = cfg_.effective_max_steps();
-  std::vector<Delivery> due;  // scratch
+  auto& due = due_;  // member scratch (capacity persists across runs)
   // Pending revivals count as outstanding work: the run must reach every
   // scheduled restart so all engines agree on the final population (the
   // event-driven engine drains its queue and would revive regardless).
