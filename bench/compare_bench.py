@@ -15,7 +15,7 @@ observed rate is the most stable estimator of achievable throughput there
 Usage:
   bench/compare_bench.py --binary build/bench/micro_engine \
       [--baseline BENCH_engine.json] [--tolerance 0.05] [--reps 2] \
-      [--filter 'BM_(Engine(Serial|Async|Parallel)|TrialFarm)']
+      [--filter 'BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)']
 
 Exit status: 0 = no regression, 1 = regression, 2 = usage/setup error.
 """
@@ -81,7 +81,7 @@ def main() -> int:
                     help="allowed fractional slowdown (default 0.05)")
     ap.add_argument("--reps", type=int, default=2,
                     help="benchmark process invocations; best rate wins")
-    ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel)|TrialFarm)",
+    ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)",
                     help="regex passed to --benchmark_filter")
     args = ap.parse_args()
 

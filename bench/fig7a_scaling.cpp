@@ -2,7 +2,9 @@
 // medians for OCG, CCG, FCG; analytic best-case lines for BIG and BFB and
 // the "opt" lower bound.  L = 2 us, O = 1 us, eps = 6.93e-7.
 //
-//   ./fig7a_scaling [--max-n=16384] [--threads=0] [--trials=200] [--seed=1] [--eps=...]
+//   ./fig7a_scaling [--max-n=16384] [--threads=0] [--trials=200] [--seed=1]
+//                   [--eps=...] [--engine=stepped|async|parallel|sharded]
+//                   [--shards=K]
 #include <cstdio>
 #include <vector>
 
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
   const int base_trials = static_cast<int>(flags.get_int("trials", 200));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double eps = flags.get_double("eps", paper_eps());
+  const ExecConfig exec = bench::exec_flag(flags);
   const LogP logp = LogP::piz_daint();
 
   bench::print_header("Figure 7a: latency scaling, failure-free");
@@ -37,7 +40,7 @@ int main(int argc, char** argv) {
           run_scenario(a, n, 0, logp, trials,
                        derive_seed(seed, static_cast<std::uint64_t>(n) * 8 +
                                              static_cast<std::uint64_t>(a)),
-                       eps, 1, bench::threads_flag(flags));
+                       eps, 1, bench::threads_flag(flags), exec);
       row.push_back(Table::cell(
           "%.0f", logp.us(1) * (r.agg.t_complete.empty()
                                     ? 0.0

@@ -3,7 +3,8 @@
 // lines for BIG and BFB.  "opt" is omitted, as in the paper (it would not
 // be consistent under failures).
 //
-//   ./fig7b_scaling_failures [--max-n=16384] [--trials=200] [--seed=1] [--threads=0]
+//   ./fig7b_scaling_failures [--max-n=16384] [--trials=200] [--seed=1]
+//                            [--threads=0] [--engine=...] [--shards=K]
 #include <cstdio>
 #include <vector>
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const int base_trials = static_cast<int>(flags.get_int("trials", 200));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
   const double eps = flags.get_double("eps", paper_eps());
+  const ExecConfig exec = bench::exec_flag(flags);
   const LogP logp = LogP::piz_daint();
 
   bench::print_header("Figure 7b: latency scaling with N/64 node failures");
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
           run_scenario(a, n, fails, logp, trials,
                        derive_seed(seed, static_cast<std::uint64_t>(n) * 8 +
                                              static_cast<std::uint64_t>(a)),
-                       eps, 1, bench::threads_flag(flags));
+                       eps, 1, bench::threads_flag(flags), exec);
       row.push_back(Table::cell(
           "%.0f", logp.us(1) * (r.agg.t_complete.empty()
                                     ? 0.0

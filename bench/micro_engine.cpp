@@ -12,6 +12,7 @@
 #include "harness/runner.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace cg {
 namespace {
@@ -128,6 +129,39 @@ BENCHMARK(BM_EngineParallel)
     ->Args({4096, 2})
     ->Args({4096, 4})
     ->Args({4096, 8});
+
+// The window-sharded SoA engine, same CCG workload, at bench scale and at
+// the scales it exists for ({65536, 1M} nodes x {1, 8} shards).  The big
+// arguments run ONE iteration per repetition by design - a 1M-node run is
+// seconds, not microseconds; use --benchmark_min_time=1x when eyeballing.
+void BM_EngineSharded(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto shards = static_cast<int>(state.range(1));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    CcgNode::Params p;
+    p.T = 30;
+    ShardedEngine<CcgNode> eng(cfg, p, shards);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSharded)
+    ->Args({4096, 1})
+    ->Args({4096, 8})
+    ->Args({65536, 1})
+    ->Args({65536, 8})
+    ->Args({1048576, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The 65536-node cross-engine comparison points BENCH_engine.json cites
+// (serial/async at the sharded engine's home scale).
+BENCHMARK(BM_EngineSerial)->Arg(65536)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineAsync)->Arg(65536)->Unit(benchmark::kMillisecond);
 
 // Trial-farm throughput: run_trials() end to end (pool scheduling, engine
 // reuse, deterministic reduction included), items/sec = trials/sec.  The

@@ -8,6 +8,12 @@
 //           [--corr=6] [--f=1] [--pre-fail=3] [--online-fail=1]
 //           [--jitter=0] [--drop-prob=0] [--eps=6.93e-7] [--seed=1]
 //           [--rx=drain|one] [--threads=0] [--drain-extra=0] [--csv]
+//           [--engine=stepped|async|parallel|sharded] [--shards=K]
+//
+// --engine picks the execution engine carrying every trial (identical
+// results, different wall-clock profile; sharded is the scale engine for
+// million-node runs).  --shards sets the shard count (sharded) or worker
+// threads (parallel).
 //
 // Omitted --t/--corr are tuned from the analytic models at --eps.
 //
@@ -110,6 +116,14 @@ int main(int argc, char** argv) {
   spec.rx = flags.get_string("rx", "drain") == "one" ? RxPolicy::kOnePerStep
                                                      : RxPolicy::kDrainAll;
 
+  const std::string engine_s = flags.get_string("engine", "stepped");
+  if (!engine_from_name(engine_s, spec.exec.engine)) {
+    std::fprintf(stderr, "unknown --engine=%s (%s)\n", engine_s.c_str(),
+                 engine_names_list());
+    return 2;
+  }
+  spec.exec.threads = static_cast<int>(flags.get_int("shards", 1));
+
   // Parameters: explicit flags override the model-tuned defaults.
   const TunedAlgo tuned = tune_for(algo, n, n - pre, logp, eps, f);
   spec.acfg = tuned.acfg;
@@ -170,7 +184,7 @@ int main(int argc, char** argv) {
     RunConfig rcfg = trial_run_config(spec, 0);
     rcfg.trace = &tee;
     rcfg.profile = &profile;
-    trial0 = run_once(algo, spec.acfg, rcfg);
+    trial0 = run_once(algo, spec.acfg, rcfg, spec.exec);
     if (chrome) trace_ok = chrome->close();
 
     if (is_gossip_family(algo) && series.steps() > 0) {
@@ -290,6 +304,7 @@ int main(int argc, char** argv) {
       w.kv("online_failures",
            static_cast<std::int64_t>(spec.online_failures));
       w.kv("eps", eps);
+      w.kv("engine", engine_name(spec.exec.engine));
       w.end_object();
       w.key("aggregate");
       obs::write_json(w, agg);

@@ -8,6 +8,7 @@
 //   ./failure_drill [--n=512] [--threads=0] [--trials=300] [--seed=7]
 //                   [--drop-prob=0] [--burst-loss=0] [--burst-mean=4]
 //                   [--restart=0] [--stragglers=0] [--reliable]
+//                   [--engine=stepped|async|parallel|sharded] [--shards=K]
 #include <cstdio>
 #include <string>
 
@@ -28,6 +29,14 @@ int main(int argc, char** argv) {
   const int restarts = static_cast<int>(flags.get_int("restart", 0));
   const int stragglers = static_cast<int>(flags.get_int("stragglers", 0));
   const bool reliable = flags.get_bool("reliable", false);
+  ExecConfig exec;
+  const std::string engine_s = flags.get_string("engine", "stepped");
+  if (!engine_from_name(engine_s, exec.engine)) {
+    std::fprintf(stderr, "unknown --engine=%s (%s)\n", engine_s.c_str(),
+                 engine_names_list());
+    return 2;
+  }
+  exec.threads = static_cast<int>(flags.get_int("shards", 1));
   const LogP logp = LogP::piz_daint();
   const double eps = 1e-4;
 
@@ -47,6 +56,7 @@ int main(int argc, char** argv) {
       const TunedAlgo tuned = tune_for(a, n, n, logp, eps, /*f=*/1);
       TrialSpec spec;
       spec.threads = static_cast<int>(flags.get_int("threads", 0));
+      spec.exec = exec;
       spec.algo = a;
       spec.acfg = tuned.acfg;
       spec.acfg.reliable.enabled = reliable;

@@ -105,10 +105,7 @@ class CcgNode {
     }
     const Step now = ctx.now();
     if (now < p_.T) {
-      Message m;
-      m.tag = Tag::kGossip;
-      m.time = now;
-      ctx.send(ctx.rng().other_node(self_, ring_.size()), m);
+      ctx.send(ctx.rng().other_node(self_, ring_.size()), plain_gossip_msg(now));
       return;
     }
     if (now < corr_start(p_.T, ctx.logp()) + p_.drain_extra)
@@ -135,6 +132,13 @@ class CcgNode {
 
     // Full circle (line 16) or both directions satisfied: exit.
     if (off_ >= ring_.size() || (!s_fwd_ && !s_bwd_)) finish(ctx);
+  }
+
+  /// Batched gossip-sweep contract (see GosNode::in_plain_gossip).  With
+  /// the reliable sublayer on, rel_.on_tick may own the step's slot, so
+  /// only the disabled configuration takes the fast path.
+  bool in_plain_gossip(Step now) const {
+    return !rel_.enabled() && !want_complete_ && now < p_.T;
   }
 
   bool colored() const { return colored_; }

@@ -206,10 +206,7 @@ class FcgNode {
     }
 
     if (now < p_.T) {
-      Message m;
-      m.tag = Tag::kGossip;
-      m.time = now;
-      ctx.send(ctx.rng().other_node(self_, ring_.size()), m);
+      ctx.send(ctx.rng().other_node(self_, ring_.size()), plain_gossip_msg(now));
       return;
     }
     if (now < corr_start(p_.T, ctx.logp()) + p_.drain_extra)
@@ -265,6 +262,14 @@ class FcgNode {
       ctx.deliver();
       finish(ctx);
     }
+  }
+
+  /// Batched gossip-sweep contract (see GosNode::in_plain_gossip).  Only
+  /// g-nodes gossip, and every pre-gossip gate (reliable sublayer, pending
+  /// completion, SOS mode) must be inactive.
+  bool in_plain_gossip(Step now) const {
+    return !done_ && !p_.reliable.enabled && !want_complete_ && !sos_mode_ &&
+           g_node_ && now < p_.T;
   }
 
   bool colored() const { return colored_; }

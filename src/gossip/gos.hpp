@@ -44,15 +44,17 @@ class GosNode {
     if (!colored_) return;
     const Step now = ctx.now();
     if (now < T_) {
-      Message m;
-      m.tag = Tag::kGossip;
-      m.time = now;
-      ctx.send(ctx.rng().other_node(self_, n_), m);
+      ctx.send(ctx.rng().other_node(self_, n_), plain_gossip_msg(now));
       return;
     }
     // Between T and T+L+O in-flight messages drain; then the node is done.
     if (now >= gossip_drain_end(T_, ctx.logp())) ctx.complete();
   }
+
+  /// True when on_tick at `now` would do exactly one plain-gossip emission
+  /// (plain_gossip_msg to rng().other_node) and nothing else - the sharded
+  /// engine's batched gossip sweep contract (sim/sharded_engine.hpp).
+  bool in_plain_gossip(Step now) const { return colored_ && now < T_; }
 
   bool colored() const { return colored_; }
 

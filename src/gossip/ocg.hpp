@@ -79,10 +79,7 @@ class OcgNode {
     const Step now = ctx.now();
     const Step start = corr_start(p_.T, ctx.logp()) + p_.drain_extra;
     if (now < p_.T) {
-      Message m;
-      m.tag = Tag::kGossip;
-      m.time = now;
-      ctx.send(ctx.rng().other_node(self_, ring_.size()), m);
+      ctx.send(ctx.rng().other_node(self_, ring_.size()), plain_gossip_msg(now));
       return;
     }
     if (now < start) return;  // drain window
@@ -104,6 +101,11 @@ class OcgNode {
       }
     }
   }
+
+  /// Batched gossip-sweep contract (see GosNode::in_plain_gossip).  A
+  /// ticking OCG node is always a colored g-node (c-nodes complete inside
+  /// their first on_receive), so the phase check alone decides.
+  bool in_plain_gossip(Step now) const { return now < p_.T; }
 
   bool colored() const { return colored_; }
   bool is_g_node() const { return g_node_; }

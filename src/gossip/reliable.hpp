@@ -34,10 +34,17 @@
 // (retrans = 1) and surface as msgs_retrans next to the per-tag counters.
 // Determinism: the sublayer holds no RNG; every decision is a pure
 // function of the callback sequence, so engine parity is preserved.
+//
+// Memory plan: ALL sublayer state lives behind one pointer, allocated only
+// when the sublayer is enabled.  A disabled link is pointer-sized, which is
+// what keeps CcgNode/FcgNode dense enough for the million-node SoA slab
+// (docs/PERF.md §6) - the default configuration embeds ~150 bytes of empty
+// vectors per node otherwise.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -79,37 +86,45 @@ class ReliableLink {
 
   ReliableLink() = default;
 
-  ReliableLink(const ReliableParams& p, NodeId self, NodeId n)
-      : p_(p), self_(self) {
-    if (p_.enabled) {
-      seen_.emplace(n);
-      CG_CHECK(p_.max_retries >= 0);
-      CG_CHECK(p_.rto >= 0 && p_.backoff_cap >= 1);
-    }
+  ReliableLink(const ReliableParams& p, NodeId self, NodeId n) {
+    if (p.enabled) st_ = std::make_unique<State>(p, self, n);
   }
 
-  bool enabled() const { return p_.enabled; }
+  // Deep-copyable so protocol nodes stay regular values (the engines only
+  // ever move, but tests and helpers may copy).
+  ReliableLink(const ReliableLink& o)
+      : st_(o.st_ ? std::make_unique<State>(*o.st_) : nullptr) {}
+  ReliableLink& operator=(const ReliableLink& o) {
+    if (this != &o) st_ = o.st_ ? std::make_unique<State>(*o.st_) : nullptr;
+    return *this;
+  }
+  ReliableLink(ReliableLink&&) noexcept = default;
+  ReliableLink& operator=(ReliableLink&&) noexcept = default;
+
+  bool enabled() const { return st_ != nullptr; }
 
   /// No unacked transactions and no acks owed: safe to complete().
-  bool idle() const { return pending_.empty() && ack_queue_.empty(); }
+  bool idle() const {
+    return !st_ || (st_->pending.empty() && st_->ack_queue.empty());
+  }
 
-  std::int64_t abandoned() const { return abandoned_; }
+  std::int64_t abandoned() const { return st_ ? st_->abandoned : 0; }
 
   /// Send `m` to `to` with delivery tracking (consumes this step's slot).
   /// With the sublayer disabled this is a plain ctx.send().
   template <class Ctx>
   void send(Ctx& ctx, NodeId to, Message m) {
-    if (!p_.enabled || !is_reliable_tag(m.tag)) {
+    if (!st_ || !is_reliable_tag(m.tag)) {
       ctx.send(to, m);
       return;
     }
-    CG_CHECK(to != self_);
-    m.time = static_cast<Step>(++next_seq_);
+    CG_CHECK(to != st_->self);
+    m.time = static_cast<Step>(++st_->next_seq);
     // One outstanding transaction per destination: newer content
     // supersedes (ring-correction messages to the same peer are monotone
     // in information content).
-    drop_pending(to);
-    pending_.push_back({to, m, ctx.now() + rto(ctx), 0});
+    st_->drop_pending(to);
+    st_->pending.push_back({to, m, ctx.now() + rto(ctx), 0});
     ctx.send(to, m);
   }
 
@@ -118,7 +133,9 @@ class ReliableLink {
   /// protocol must then skip its own emission this step.
   template <class Ctx>
   bool on_tick(Ctx& ctx) {
-    if (!p_.enabled) return false;
+    if (!st_) return false;
+    auto& pending_ = st_->pending;
+    auto& ack_queue_ = st_->ack_queue;
     const Step now = ctx.now();
     if (!ack_queue_.empty()) {
       // Oldest owed step first, lowest peer id on ties: canonical across
@@ -134,10 +151,10 @@ class ReliableLink {
       const NodeId peer = ack_queue_[best].peer;
       ack_queue_.erase(ack_queue_.begin() +
                        static_cast<std::ptrdiff_t>(best));
-      ack_owed_(peer) = 0;
+      st_->ack_owed(peer) = 0;
       Message a;
       a.tag = Tag::kAck;
-      a.time = static_cast<Step>(last_seq_(peer));
+      a.time = static_cast<Step>(st_->last_seq(peer));
       ctx.send(peer, a);
       return true;
     }
@@ -149,8 +166,8 @@ class ReliableLink {
         ++k;
         continue;
       }
-      if (tx.attempts >= p_.max_retries) {
-        ++abandoned_;
+      if (tx.attempts >= st_->p.max_retries) {
+        ++st_->abandoned;
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
         continue;  // dead/completed peer: give up, try the next one
       }
@@ -168,7 +185,8 @@ class ReliableLink {
   /// means the caller should run its protocol logic on `m`.
   template <class Ctx>
   Rx on_receive(Ctx& ctx, const Message& m) {
-    if (!p_.enabled) return Rx::kProcess;
+    if (!st_) return Rx::kProcess;
+    auto& pending_ = st_->pending;
     if (m.tag == Tag::kAck) {
       // Cumulative: clears the pending transaction to m.src if its seq is
       // covered.
@@ -183,14 +201,14 @@ class ReliableLink {
     if (!is_reliable_tag(m.tag)) return Rx::kProcess;
     // Track the highest seq seen and owe the sender a cumulative ack
     // (duplicates re-queue it: our previous ack may have been lost).
-    auto& hi = last_seq_(m.src);
+    auto& hi = st_->last_seq(m.src);
     hi = std::max(hi, static_cast<std::uint64_t>(m.time));
-    if (ack_owed_(m.src) == 0) {
-      ack_owed_(m.src) = 1;
-      ack_queue_.push_back({m.src, ctx.now()});
+    if (st_->ack_owed(m.src) == 0) {
+      st_->ack_owed(m.src) = 1;
+      st_->ack_queue.push_back({m.src, ctx.now()});
     }
     // Claim-1 dedup: per-sender monotone counter.
-    if (!seen_->accept({m.src, static_cast<std::uint64_t>(m.time)}))
+    if (!st_->seen.accept({m.src, static_cast<std::uint64_t>(m.time)}))
       return Rx::kDuplicate;
     return Rx::kProcess;
   }
@@ -208,53 +226,63 @@ class ReliableLink {
     Step since = 0;  ///< step the ack became owed
   };
 
+  /// Everything an ENABLED link needs; a disabled link is just a null
+  /// pointer to this (see the memory-plan note in the file comment).
+  struct State {
+    State(const ReliableParams& params, NodeId self_id, NodeId n)
+        : p(params), self(self_id), seen(n) {
+      CG_CHECK(p.max_retries >= 0);
+      CG_CHECK(p.rto >= 0 && p.backoff_cap >= 1);
+    }
+
+    void drop_pending(NodeId to) {
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        if (pending[k].to == to) {
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+          return;
+        }
+      }
+    }
+
+    // Per-peer scalars kept as sparse pair-vectors: a node exchanges
+    // tracked traffic with O(gap) ring neighbors, not with all N.
+    std::uint64_t& last_seq(NodeId peer) { return sparse(peer, last_seq_v); }
+    std::uint8_t& ack_owed(NodeId peer) { return sparse(peer, ack_owed_v); }
+
+    template <class T>
+    T& sparse(NodeId peer, std::vector<std::pair<NodeId, T>>& v) {
+      for (auto& [id, val] : v)
+        if (id == peer) return val;
+      v.emplace_back(peer, T{});
+      return v.back().second;
+    }
+
+    ReliableParams p{};
+    NodeId self = kNoNode;
+    std::uint64_t next_seq = 0;
+    std::vector<Pending> pending;                        // oldest first
+    std::vector<OwedAck> ack_queue;                      // owed acks
+    std::vector<std::pair<NodeId, std::uint64_t>> last_seq_v;
+    std::vector<std::pair<NodeId, std::uint8_t>> ack_owed_v;
+    BroadcastFilter seen;                                // per-sender dedup
+    std::int64_t abandoned = 0;
+  };
+
   template <class Ctx>
   Step rto(const Ctx& ctx) const {
-    return p_.rto > 0 ? p_.rto : 2 * ctx.logp().delivery_delay() + 2;
+    return st_->p.rto > 0 ? st_->p.rto
+                          : 2 * ctx.logp().delivery_delay() + 2;
   }
 
   template <class Ctx>
   Step backoff(const Ctx& ctx, int attempt) const {
     const Step base = rto(ctx);
     Step b = base;
-    for (int i = 0; i < attempt && b < p_.backoff_cap; ++i) b *= 2;
-    return std::min(b, std::max(p_.backoff_cap, base));
+    for (int i = 0; i < attempt && b < st_->p.backoff_cap; ++i) b *= 2;
+    return std::min(b, std::max(st_->p.backoff_cap, base));
   }
 
-  void drop_pending(NodeId to) {
-    for (std::size_t k = 0; k < pending_.size(); ++k) {
-      if (pending_[k].to == to) {
-        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
-        return;
-      }
-    }
-  }
-
-  // Per-peer scalars kept as sparse pair-vectors: a node exchanges
-  // tracked traffic with O(gap) ring neighbors, not with all N.
-  std::uint64_t& last_seq_(NodeId peer) { return sparse(peer, last_seq_v_); }
-  std::uint8_t& ack_owed_(NodeId peer) {
-    auto& slot = sparse(peer, ack_owed_v_);
-    return slot;
-  }
-
-  template <class T>
-  T& sparse(NodeId peer, std::vector<std::pair<NodeId, T>>& v) {
-    for (auto& [id, val] : v)
-      if (id == peer) return val;
-    v.emplace_back(peer, T{});
-    return v.back().second;
-  }
-
-  ReliableParams p_{};
-  NodeId self_ = kNoNode;
-  std::uint64_t next_seq_ = 0;
-  std::vector<Pending> pending_;                       // oldest first
-  std::vector<OwedAck> ack_queue_;                     // owed acks
-  std::vector<std::pair<NodeId, std::uint64_t>> last_seq_v_;
-  std::vector<std::pair<NodeId, std::uint8_t>> ack_owed_v_;
-  std::optional<BroadcastFilter> seen_;                // per-sender dedup
-  std::int64_t abandoned_ = 0;
+  std::unique_ptr<State> st_;
 };
 
 }  // namespace cg

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "proto/message.hpp"
 #include "sim/logp.hpp"
 
 namespace cg {
@@ -22,5 +23,18 @@ constexpr Step gossip_drain_end(Step T, const LogP& p) { return T + p.l_over_o; 
 
 /// First correction-phase emission step.
 constexpr Step corr_start(Step T, const LogP& p) { return T + p.delivery_delay(); }
+
+/// The ONE message shape every plain-gossip emission uses (GOS and the
+/// gossip phase of OCG/CCG/FCG): kGossip carrying the virtual time.  The
+/// sharded engine's batched gossip sweep emits this directly for nodes
+/// reporting in_plain_gossip(now), bypassing the per-node on_tick - the
+/// protocols' own ticks must build exactly this message for the fast
+/// path to be behavior-preserving (tests/test_sharded_engine.cpp).
+constexpr Message plain_gossip_msg(Step now) {
+  Message m;
+  m.tag = Tag::kGossip;
+  m.time = now;
+  return m;
+}
 
 }  // namespace cg

@@ -63,6 +63,7 @@ TrialSpec campaign_trial_spec(const CampaignConfig& cfg,
   spec.trials = cfg.trials;
   spec.threads = cfg.threads;
   spec.max_steps = cfg.max_steps;
+  spec.exec = cfg.exec;
 
   spec.drop_prob = scenario.drop_prob;
   spec.burst_loss = scenario.burst_loss;

@@ -65,6 +65,8 @@ struct CampaignConfig {
   /// result is byte-identical for every thread count (see run_campaign).
   int threads = 0;
   Step max_steps = 0;  ///< 0 = engine auto limit
+  /// Engine carrying every cell's trials (identical results either way).
+  ExecConfig exec{};
 };
 
 struct CampaignCell {

@@ -150,6 +150,10 @@ TrialWorkspace& TrialWorkspace::operator=(TrialWorkspace&&) noexcept = default;
 
 RunMetrics TrialWorkspace::run(const TrialSpec& spec, int trial) {
   trial_run_config_into(spec, trial, impl_->rcfg);
+  // The zero-alloc reuse path exists only for the stepped engine; other
+  // engines run fresh (their trial cost is dominated by the run itself).
+  if (spec.exec.engine != EngineKind::kStepped)
+    return run_once(spec.algo, spec.acfg, impl_->rcfg, spec.exec);
   return impl_->cache.run_once(spec.algo, spec.acfg, impl_->rcfg);
 }
 

@@ -28,6 +28,11 @@ struct TrialSpec {
   /// (hardware_concurrency).  The aggregate is byte-identical for every
   /// value - see run_trials.
   int threads = 1;
+  /// Execution engine carrying each trial.  Every engine produces
+  /// identical RunMetrics, so this only changes the wall-clock profile;
+  /// non-stepped engines bypass the EngineCache reuse path (they
+  /// construct fresh per trial).
+  ExecConfig exec{};
 
   // Failure sampling per trial (fresh schedule each trial).
   int pre_failures = 0;

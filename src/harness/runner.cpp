@@ -14,6 +14,7 @@
 #include "gossip/ocg_chain.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/fault/validate.hpp"
 
 namespace cg {
@@ -37,9 +38,23 @@ const char* engine_name(EngineKind k) {
     case EngineKind::kStepped: return "stepped";
     case EngineKind::kAsync: return "async";
     case EngineKind::kParallel: return "parallel";
+    case EngineKind::kSharded: return "sharded";
   }
   return "?";
 }
+
+bool engine_from_name(std::string_view name, EngineKind& out) {
+  for (EngineKind k : {EngineKind::kStepped, EngineKind::kAsync,
+                       EngineKind::kParallel, EngineKind::kSharded}) {
+    if (name == engine_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* engine_names_list() { return "stepped, async, parallel, sharded"; }
 
 namespace {
 
@@ -120,6 +135,10 @@ struct FreshEngineRunner {
       }
       case EngineKind::kParallel: {
         ParallelEngine<Node> eng(rcfg, std::move(params), exec.threads);
+        return eng.run();
+      }
+      case EngineKind::kSharded: {
+        ShardedEngine<Node> eng(rcfg, std::move(params), exec.threads);
         return eng.run();
       }
     }

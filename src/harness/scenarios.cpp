@@ -95,7 +95,8 @@ double reported_latency_steps(Algo algo, const TrialAggregate& agg) {
 
 ScenarioResult run_scenario(Algo algo, NodeId N, int pre_failures,
                             const LogP& logp, int trials, std::uint64_t seed,
-                            double eps, int f, int threads) {
+                            double eps, int f, int threads,
+                            const ExecConfig& exec) {
   CG_CHECK(pre_failures >= 0 && pre_failures < N);
   ScenarioResult res;
   res.tuned = tune_for(algo, N, N - pre_failures, logp, eps, f);
@@ -108,6 +109,7 @@ ScenarioResult run_scenario(Algo algo, NodeId N, int pre_failures,
   spec.seed = seed;
   spec.trials = trials;
   spec.threads = threads;
+  spec.exec = exec;
   spec.pre_failures = pre_failures;
   res.agg = run_trials(spec);
 

@@ -42,10 +42,13 @@ struct ScenarioResult {
 
 /// Tune and simulate one algorithm at one scale with `pre_failures`
 /// initially-failed nodes (the Table 7 / Figure 7 setup).  threads <= 0 =
-/// auto (hardware_concurrency); results are thread-count-independent.
+/// auto (hardware_concurrency); results are thread-count-independent, and
+/// engine-independent too (`exec` picks the engine that carries the
+/// trials; useful to push the figure sweeps to large N).
 ScenarioResult run_scenario(Algo algo, NodeId N, int pre_failures,
                             const LogP& logp, int trials, std::uint64_t seed,
-                            double eps, int f = 1, int threads = 0);
+                            double eps, int f = 1, int threads = 0,
+                            const ExecConfig& exec = {});
 
 /// Analytic rows for the baselines (exactly the paper's models).
 struct ModelRow {

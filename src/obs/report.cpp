@@ -117,6 +117,24 @@ void write_json(JsonWriter& w, const EngineProfile& prof) {
   w.kv("tick_s", prof.tick_s);
   w.kv("route_s", prof.route_s);
   w.kv("events_per_sec", prof.events_per_sec());
+  w.kv("bytes_per_node", prof.bytes_per_node);
+  w.kv("peak_rss_bytes", prof.peak_rss_bytes);
+  if (prof.shards > 0) {
+    w.kv("shards", static_cast<std::int64_t>(prof.shards));
+    w.kv("windows", prof.windows);
+    w.kv("window_stalls", prof.window_stalls);
+    w.kv("boundary_msgs", prof.boundary_msgs);
+    w.key("shard_stats");
+    w.begin_array();
+    for (const auto& s : prof.shard_stats) {
+      w.begin_object();
+      w.kv("events_fired", s.events_fired);
+      w.kv("boundary_msgs", s.boundary_msgs);
+      w.kv("window_stalls", s.window_stalls);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 

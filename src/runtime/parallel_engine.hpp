@@ -474,6 +474,21 @@ RunMetrics ParallelEngine<Node>::run() {
     }
     prof->steps = step_;
     prof->wall_s = ProfileClock::seconds_since(prof_run0);
+    std::size_t fp = nodes_.capacity() * sizeof(Node) +
+                     rng_.capacity() * sizeof(Xoshiro256) +
+                     store_.footprint_bytes() +
+                     (crash_at_.capacity() + restart_up_.capacity()) *
+                         sizeof(Step);
+    for (const auto& q : queue_) fp += q.capacity() * sizeof(TimedMsg);
+    for (const auto& ib : inbox_) fp += ib.capacity() * sizeof(Message);
+    for (const auto& ws : workers_) {
+      fp += (ws.outbox[0].capacity() + ws.outbox[1].capacity()) *
+            sizeof(TimedMsg);
+      fp += ws.trace.capacity() * sizeof(TraceEvent);
+    }
+    prof->bytes_per_node =
+        static_cast<std::int64_t>(fp / static_cast<std::size_t>(cfg_.n));
+    prof->peak_rss_bytes = current_peak_rss_bytes();
   }
   for (const auto& ws : workers_) ws.counts.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_, cfg_.record_node_detail);

@@ -428,6 +428,23 @@ RunMetrics AsyncEngine<Node>::run() {
     prof->events_cancelled = qs.cancelled;
     prof->queue_max_bucket = qs.max_bucket;
     prof->queue_slot_capacity = static_cast<std::int64_t>(q_.slot_capacity());
+    std::size_t fp = nodes_.capacity() * sizeof(Node) +
+                     rng_.capacity() * sizeof(Xoshiro256) +
+                     store_.footprint_bytes() +
+                     crash_at_.capacity() * sizeof(Step) +
+                     cal_stamp_.capacity() * sizeof(Step) +
+                     due_.capacity() * sizeof(Delivery) +
+                     (inbox_stamp_.capacity() + rx_next_.capacity() +
+                      rx_sched_.capacity()) *
+                         sizeof(Step) +
+                     inbox_tail_.capacity() * sizeof(std::size_t);
+    for (const auto& slot : calendar_) fp += slot.capacity() * sizeof(Delivery);
+    for (const auto& tc : tick_cal_) fp += tc.capacity() * sizeof(NodeId);
+    fp += tick_due_.capacity() * sizeof(NodeId);
+    for (const auto& ib : inbox_) fp += ib.capacity() * sizeof(Message);
+    prof->bytes_per_node =
+        static_cast<std::int64_t>(fp / static_cast<std::size_t>(cfg_.n));
+    prof->peak_rss_bytes = current_peak_rss_bytes();
   }
   counts_.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_now(), cfg_.record_node_detail);

@@ -171,6 +171,15 @@ class NodeStateStore {
     }
   }
 
+  /// Heap bytes of the lifecycle arrays (memory-plan accounting).
+  std::size_t footprint_bytes() const {
+    return alive_.capacity() * sizeof(std::uint8_t) +
+           state_.capacity() * sizeof(NodeRunState) +
+           (colored_at_.capacity() + delivered_at_.capacity() +
+            completed_at_.capacity() + activated_at_.capacity()) *
+               sizeof(Step);
+  }
+
  private:
   static std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 

@@ -19,10 +19,33 @@
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/types.hpp"
 
 namespace cg {
+
+/// Process-wide peak resident set size in bytes (getrusage ru_maxrss), or
+/// 0 where unavailable.  A whole-process high-water mark, not a per-run
+/// figure - engines record it so memory-plan regressions show up in
+/// reports next to bytes_per_node.
+inline std::int64_t current_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 struct EngineProfile {
   std::int64_t callbacks_start = 0;
@@ -45,6 +68,24 @@ struct EngineProfile {
   double deliver_s = 0;
   double tick_s = 0;
   double route_s = 0;
+
+  // Memory-plan accounting (every engine fills these): bytes of per-run
+  // engine state (node slab, RNG streams, lifecycle arrays, calendars,
+  // inboxes) divided by n, and the process peak RSS at the end of the run.
+  std::int64_t bytes_per_node = 0;
+  std::int64_t peak_rss_bytes = 0;
+
+  // Sharded-engine counters (zero for the other engines).
+  struct ShardStat {
+    std::int64_t events_fired = 0;    ///< messages consumed by this shard
+    std::int64_t boundary_msgs = 0;   ///< cross-shard messages it sent
+    std::int64_t window_stalls = 0;   ///< windows where the shard had no work
+  };
+  int shards = 0;
+  std::int64_t windows = 0;         ///< delivery windows executed
+  std::int64_t window_stalls = 0;   ///< sum of per-shard stalls
+  std::int64_t boundary_msgs = 0;   ///< messages crossing a shard boundary
+  std::vector<ShardStat> shard_stats;
 
   /// Protocol callbacks dispatched over the run.
   std::int64_t events() const {

@@ -380,6 +380,17 @@ RunMetrics Engine<Node>::run_impl() {
   if (prof != nullptr) {
     prof->steps = step_;
     prof->wall_s = ProfileClock::seconds_since(prof_run0);
+    std::size_t fp = nodes_.capacity() * sizeof(Node) +
+                     rng_.capacity() * sizeof(Xoshiro256) +
+                     store_.footprint_bytes() +
+                     due_.capacity() * sizeof(Delivery);
+    for (const auto& slot : calendar_) fp += slot.capacity() * sizeof(Delivery);
+    for (const auto& ib : inbox_) fp += ib.capacity() * sizeof(Message);
+    fp += inbox_stamp_.capacity() * sizeof(Step) +
+          inbox_tail_.capacity() * sizeof(std::size_t);
+    prof->bytes_per_node =
+        static_cast<std::int64_t>(fp / static_cast<std::size_t>(cfg_.n));
+    prof->peak_rss_bytes = current_peak_rss_bytes();
   }
   return finalize();
 }

@@ -1,0 +1,646 @@
+// Window-sharded execution over the structure-of-arrays node store - the
+// engine for million-node runs.
+//
+// Nodes are split into contiguous 64-aligned blocks, one per shard, and
+// each shard owns a PRIVATE delivery calendar (the PR 4 ring-of-slots
+// kernel) plus the SoA state for its block.  The LogP model gives a
+// conservative lookahead: every message emitted at step s is delivered no
+// earlier than s + L/O + 1 (jitter, stragglers and link extras only ADD
+// delay), so a window of W = L/O + 1 steps can be simulated by every
+// shard INDEPENDENTLY - all deliveries inside the window were scheduled
+// in earlier windows and already sit in the owning shard's calendar.
+//
+// Structure per window, for each shard:
+//   phase A: run the window's W steps locally - revivals, due deliveries,
+//            tick sweep over the Active bitmap; same-shard sends go
+//            straight into the private calendar, cross-shard sends into
+//            the shard's parity outbox;
+//   barrier (SenseBarrier; completion folds per-shard deltas, flushes
+//            trace buffers in shard order, advances the window, decides
+//            termination);
+//   phase B: drain every other shard's parity outbox into the private
+//            calendar (owned destinations only).
+//
+// One barrier per WINDOW (the parallel engine pays one per STEP); the
+// second barrier is avoided with the same parity-double-buffered outboxes
+// (see runtime/parallel_engine.hpp).  Each due calendar slot is sorted by
+// (send step, sender) before dispatch - a unique key, since the SendGate
+// admits one emission per node per step - which realizes the canonical
+// (step, sender, dest) boundary-exchange order without caring how or when
+// entries were inserted, so traces and metrics are byte-identical across
+// shard counts (tests/test_sharded_engine.cpp sweeps {1, 2, 8}).
+//
+// Crash schedules are applied LAZILY, which is what lets a shard run past
+// global quiescence without rollback: a kill becomes visible the moment
+// the node would otherwise act (tick sweep, delivery, revival) and is
+// stamped with its SCHEDULED step; crashes of untouched nodes are applied
+// after the run, gated to the reconstructed end step, so the final
+// population matches the stepped engine exactly.  The end step itself is
+// reconstructed as 1 + the last completion / active-kill / consumption /
+// revival - precisely the event that kept the stepped engine's
+// active/in-flight/pending-restart condition true - so t_end, and with it
+// every RunMetrics field, matches the stepped engine.
+//
+// Protocols run unchanged through BasicCtx.  Nodes reporting
+// in_plain_gossip(now) (GOS and the gossip phase of OCG/CCG/FCG) take a
+// batched emission path that skips the generic on_tick while consuming
+// the same RNG stream, SendGate slot and message shape - behavior-
+// preserving by the plain_gossip_msg contract (gossip/timing.hpp).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "gossip/timing.hpp"
+#include "runtime/sync_barrier.hpp"
+#include "sim/core/basic_ctx.hpp"
+#include "sim/core/bitset.hpp"
+#include "sim/core/inbox.hpp"
+#include "sim/core/network_model.hpp"
+#include "sim/core/profile.hpp"
+#include "sim/core/run_config.hpp"
+#include "sim/core/send_gate.hpp"
+#include "sim/core/soa_store.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace cg {
+
+template <class Node>
+class ShardedEngine {
+ public:
+  using Params = typename Node::Params;
+
+  /// BasicCtx host: the engine plus the shard the callback runs on (the
+  /// compatibility adapter over the SoA store - protocols keep their
+  /// object API while state lives in flat arrays).
+  struct ShardView {
+    ShardedEngine* eng;
+    int shard;
+
+    Step ctx_now() const { return eng->shards_[st()].now; }
+    const RunConfig& ctx_cfg() const { return eng->cfg_; }
+    Xoshiro256& ctx_rng(NodeId i) { return eng->soa_.rng(i); }
+    void ctx_send(NodeId from, NodeId to, const Message& m) {
+      eng->do_send(shard, from, to, m);
+    }
+    void ctx_activate(NodeId i) { eng->do_activate(shard, i); }
+    void ctx_mark_colored(NodeId i) {
+      if (eng->soa_.mark_colored(i, ctx_now()))
+        eng->trace(shard, {ctx_now(), TraceEvent::Kind::kColored, i, kNoNode,
+                           Tag::kGossip});
+    }
+    void ctx_deliver(NodeId i) {
+      if (eng->soa_.mark_delivered(i, ctx_now()))
+        eng->trace(shard, {ctx_now(), TraceEvent::Kind::kDelivered, i, kNoNode,
+                           Tag::kGossip});
+    }
+    void ctx_complete(NodeId i) { eng->do_complete(shard, i); }
+    bool ctx_colored(NodeId i) const { return eng->soa_.colored(i); }
+    void ctx_note_dropped(NodeId) {
+      eng->shards_[st()].counts.add_dropped();
+    }
+
+   private:
+    std::size_t st() const { return static_cast<std::size_t>(shard); }
+  };
+  using Ctx = BasicCtx<ShardView>;
+
+  ShardedEngine(RunConfig cfg, Params params, int shards)
+      : cfg_(std::move(cfg)), params_(std::move(params)),
+        nshards_(std::max(1, shards)) {
+    CG_CHECK(cfg_.n >= 1);
+    CG_CHECK(cfg_.root >= 0 && cfg_.root < cfg_.n);
+    cfg_.logp.validate();
+  }
+
+  RunMetrics run();
+
+ private:
+  /// Does the protocol expose the batched plain-gossip contract?
+  static constexpr bool kPlainGossip =
+      requires(const Node& nd) { nd.in_plain_gossip(Step{0}); };
+
+  struct Delivery {
+    Step sent_at;  ///< emission step; (sent_at, msg.src) is a unique key
+    NodeId to;
+    Message msg;
+  };
+
+  struct Boundary {
+    Step at;       ///< absolute delivery step
+    Step sent_at;
+    NodeId to;
+    Message msg;
+  };
+
+  // Everything one shard mutates during a window, cache-line-separated.
+  struct alignas(64) ShardState {
+    NodeId lo = 0, hi = 0;  ///< owned node block [lo, hi)
+    Step now = 0;           ///< shard-local current step inside a window
+    std::vector<std::vector<Delivery>> calendar;  // private ring, D+1 slots
+    std::array<std::vector<Boundary>, 2> outbox;  // indexed by window parity
+    InboxSlab inbox;        // kOnePerStep; local-node indexed
+    PackedBits inbox_bits;  // local nodes with a nonempty inbox
+    std::vector<Restart> revives;  // owned revivals, sorted by up_at
+    std::size_t next_revive = 0;
+    // Per-window deltas, folded by the barrier completion.
+    std::int64_t active_delta = 0;
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    std::int64_t revived = 0;
+    Step last_activity = -1;  ///< see file comment (end-step reconstruction)
+    MessageCounts counts;
+    std::vector<TraceEvent> trace;
+    // Self-profiling.
+    std::int64_t prof_receive = 0;
+    std::int64_t prof_tick = 0;
+    std::int64_t prof_scheduled = 0;
+    std::int64_t prof_fired = 0;
+    std::int64_t prof_max_bucket = 0;
+    std::int64_t boundary_msgs = 0;
+    std::int64_t window_stalls = 0;
+    double prof_a_s = 0;
+    double prof_b_s = 0;
+  };
+
+  int owner_of(NodeId i) const {
+    return std::min(static_cast<int>(i / block_), nshards_ - 1);
+  }
+
+  void do_send(int shard, NodeId from, NodeId to, const Message& m) {
+    CG_CHECK(to >= 0 && to < cfg_.n);
+    CG_CHECK_MSG(to != from, "node sent a message to itself");
+    auto& st = shards_[static_cast<std::size_t>(shard)];
+    gate_.on_send(from, st.now);
+    st.counts.add(m);
+    if (cfg_.trace != nullptr)
+      trace(shard, {st.now, TraceEvent::Kind::kSend, from, to, m.tag});
+
+    const Step at = net_.route(from, to, st.now);
+    if (at == NetworkModel::kLost) {  // lost on the wire (counted as work)
+      trace(shard, {st.now, TraceEvent::Kind::kLost, from, to, m.tag});
+      return;
+    }
+
+    Message out = m;
+    out.src = from;
+    ++st.sent;
+    if (cfg_.profile != nullptr) ++st.prof_scheduled;
+    const int dest = owner_of(to);
+    if (dest == shard || in_start_) {
+      // Same shard (or the single-threaded on_start phase): straight into
+      // the destination's private calendar.  `at > now`, so this never
+      // touches the slot currently being dispatched.
+      auto& ds = shards_[static_cast<std::size_t>(dest)];
+      ds.calendar[ring_slot(ds, at)].push_back({st.now, to, out});
+    } else {
+      st.outbox[static_cast<std::size_t>(win_parity_)].push_back(
+          {at, st.now, to, out});
+      ++st.boundary_msgs;
+    }
+  }
+
+  void do_activate(int shard, NodeId i) {
+    if (soa_.activate(i, shards_[static_cast<std::size_t>(shard)].now))
+      ++shards_[static_cast<std::size_t>(shard)].active_delta;
+  }
+
+  void do_complete(int shard, NodeId i) {
+    auto& st = shards_[static_cast<std::size_t>(shard)];
+    const auto t = soa_.complete(i, st.now);
+    if (!t.changed) return;
+    if (t.was_active) {
+      --st.active_delta;
+      st.last_activity = std::max(st.last_activity, st.now);
+    }
+    trace(shard, {st.now, TraceEvent::Kind::kComplete, i, kNoNode, Tag::kGossip});
+  }
+
+  /// Apply a pending crash the moment the node would otherwise act.  The
+  /// event is stamped with the SCHEDULED step (what the stepped engine
+  /// recorded), not the discovery step; an Active node is always caught at
+  /// exactly its scheduled step because Active nodes are swept every step.
+  void maybe_lazy_kill(int shard, NodeId i, Step s) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Step ca = crash_at_[idx];
+    if (ca > s) return;
+    crash_at_[idx] = kNever;
+    const Step kill_step = std::max<Step>(ca, 0);
+    const auto t = soa_.kill(i);
+    if (!t.changed) return;
+    auto& st = shards_[static_cast<std::size_t>(shard)];
+    if (t.was_active) {
+      --st.active_delta;
+      st.last_activity = std::max(st.last_activity, kill_step);
+    }
+    trace(shard, {kill_step, TraceEvent::Kind::kFail, i, kNoNode, Tag::kGossip});
+  }
+
+  void dispatch(int shard, NodeId to, const Message& m, Step s) {
+    if (any_crash_) maybe_lazy_kill(shard, to, s);
+    if (!soa_.alive(to) || soa_.done(to)) return;  // dropped
+    do_activate(shard, to);
+    if (cfg_.trace != nullptr)
+      trace(shard, {s, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    if (cfg_.profile != nullptr)
+      ++shards_[static_cast<std::size_t>(shard)].prof_receive;
+    ShardView view{this, shard};
+    Ctx ctx(view, to);
+    soa_.node(to).on_receive(ctx, m);
+  }
+
+  void trace(int shard, TraceEvent ev) {
+    if (cfg_.trace != nullptr)
+      shards_[static_cast<std::size_t>(shard)].trace.push_back(ev);
+  }
+
+  // Single-threaded (on_start, or inside the barrier completion).
+  void flush_traces() {
+    if (cfg_.trace == nullptr) return;
+    for (auto& st : shards_) {
+      for (const auto& ev : st.trace) cfg_.trace->on_event(ev);
+      st.trace.clear();
+    }
+  }
+
+  static std::size_t ring_slot(const ShardState& st, Step at) {
+    return static_cast<std::size_t>(at %
+                                    static_cast<Step>(st.calendar.size()));
+  }
+
+  /// Execute one window [win_lo, win_hi) on shard `sidx` (phase A).
+  void run_window(int sidx, Step win_lo, Step win_hi);
+
+  void fold_deltas() {
+    for (auto& st : shards_) {
+      active_count_ += st.active_delta;
+      in_flight_ += st.sent - st.delivered;
+      pending_restarts_ -= st.revived;
+      last_activity_ = std::max(last_activity_, st.last_activity);
+      st.active_delta = 0;
+      st.sent = 0;
+      st.delivered = 0;
+      st.revived = 0;
+    }
+  }
+
+  bool quiescent() const {
+    return active_count_ == 0 && in_flight_ == 0 && pending_restarts_ == 0;
+  }
+
+  std::size_t footprint_bytes() const {
+    std::size_t fp = soa_.footprint_bytes() +
+                     static_cast<std::size_t>(cfg_.n) * sizeof(Step) * 3;
+    for (const auto& st : shards_) {
+      for (const auto& slot : st.calendar) fp += slot.capacity() * sizeof(Delivery);
+      for (const auto& ob : st.outbox) fp += ob.capacity() * sizeof(Boundary);
+      fp += st.inbox.footprint_bytes() + st.inbox_bits.footprint_bytes();
+    }
+    return fp;
+  }
+
+  RunConfig cfg_;
+  Params params_;
+  int nshards_;
+  NodeId block_ = 1;  // nodes per shard block (64-aligned)
+  Step window_ = 1;   // W = L/O + 1, the conservative lookahead
+
+  SoaNodeStore<Node> soa_;
+  NetworkModel net_;
+  SendGate gate_;
+  std::vector<Step> crash_at_;    // pending scheduled crash (kNever = none)
+  bool any_crash_ = false;        // any online failure or restart scheduled
+  std::vector<Step> restart_up_;  // revive step (kNever = none)
+  std::vector<ShardState> shards_;
+
+  // Window bookkeeping (written single-threaded: setup or completion fn).
+  Step window_lo_ = 0;
+  int win_parity_ = 0;
+  bool in_start_ = false;
+  bool stop_ = false;
+  std::int64_t windows_done_ = 0;
+  std::int64_t active_count_ = 0;
+  std::int64_t in_flight_ = 0;
+  std::int64_t pending_restarts_ = 0;
+  Step last_activity_ = -1;
+  RunMetrics metrics_{};
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <class Node>
+void ShardedEngine<Node>::run_window(int sidx, Step win_lo, Step win_hi) {
+  auto& st = shards_[static_cast<std::size_t>(sidx)];
+  const bool one_per_step = cfg_.rx == RxPolicy::kOnePerStep;
+  const bool profiled = cfg_.profile != nullptr;
+  const NodeId local_n = st.hi - st.lo;
+  bool did_work = false;
+
+  for (Step s = win_lo; s < win_hi; ++s) {
+    st.now = s;
+
+    // 1. revivals due this step (force any still-pending crash first: the
+    // node must be dead before it can rejoin).
+    while (st.next_revive < st.revives.size() &&
+           st.revives[st.next_revive].up_at <= s) {
+      const NodeId i = st.revives[st.next_revive].node;
+      ++st.next_revive;
+      did_work = true;
+      maybe_lazy_kill(sidx, i, s);
+      if (soa_.revive(i, params_)) {
+        restart_up_[static_cast<std::size_t>(i)] = kNever;
+        ++st.revived;
+        st.last_activity = std::max(st.last_activity, s);
+        trace(sidx, {s, TraceEvent::Kind::kRestart, i, kNoNode, Tag::kGossip});
+      }
+    }
+
+    // 2. deliveries due this step, in canonical (send step, sender) order.
+    auto& slot = st.calendar[ring_slot(st, s)];
+    if (!slot.empty()) {
+      did_work = true;
+      if (profiled) {
+        st.prof_fired += static_cast<std::int64_t>(slot.size());
+        st.prof_max_bucket = std::max(
+            st.prof_max_bucket, static_cast<std::int64_t>(slot.size()));
+      }
+      // Canonical (send step, sender) order.  Own-shard inserts already
+      // arrive in program order - ascending send step, and protocols emit
+      // from the node-ascending tick sweep - so a slot is usually sorted
+      // already and the check is a single linear scan; only slots that
+      // took phase-B boundary appends (or dispatch-phase sends) pay the
+      // sort.
+      const auto canon = [](const Delivery& a, const Delivery& b) {
+        return a.sent_at != b.sent_at ? a.sent_at < b.sent_at
+                                      : a.msg.src < b.msg.src;
+      };
+      if (!std::is_sorted(slot.begin(), slot.end(), canon))
+        std::sort(slot.begin(), slot.end(), canon);
+      st.delivered += static_cast<std::int64_t>(slot.size());
+      st.last_activity = std::max(st.last_activity, s);
+      if (!one_per_step) {
+        for (const auto& d : slot) dispatch(sidx, d.to, d.msg, s);
+      } else {
+        // Stage into the slab inbox; per-node arrival order must be the
+        // canonical rx order, so re-sort grouped by destination.
+        std::sort(slot.begin(), slot.end(),
+                  [](const Delivery& a, const Delivery& b) {
+                    return a.to != b.to ? a.to < b.to
+                                        : rx_order_before(a.msg, b.msg);
+                  });
+        for (const auto& d : slot) {
+          const auto local = static_cast<std::size_t>(d.to - st.lo);
+          st.inbox.push(local, d.msg);
+          st.inbox_bits.set(d.to - st.lo);
+        }
+        st.delivered -= static_cast<std::int64_t>(slot.size());  // on pop
+      }
+      slot.clear();
+    }
+    if (one_per_step) {
+      // Consume at most one queued message per node, in node-id order,
+      // even for dead/done nodes (mirrors the other engines' drain).
+      st.inbox_bits.for_each_set(0, local_n, [&](NodeId local) {
+        did_work = true;
+        const NodeId i = st.lo + local;
+        const Message m = st.inbox.front(static_cast<std::size_t>(local));
+        st.inbox.pop(static_cast<std::size_t>(local));
+        if (st.inbox.empty(static_cast<std::size_t>(local)))
+          st.inbox_bits.clear(local);
+        ++st.delivered;
+        st.last_activity = std::max(st.last_activity, s);
+        dispatch(sidx, i, m, s);
+      });
+    }
+
+    // 3. tick sweep over the Active bitmap (idle/done nodes cost nothing -
+    // the flat-plan payoff).  A node activated this step skips its tick.
+    soa_.active_bits().for_each_set(st.lo, st.hi, [&](NodeId i) {
+      if (any_crash_ && crash_at_[static_cast<std::size_t>(i)] <= s) {
+        maybe_lazy_kill(sidx, i, s);
+        return;
+      }
+      if (soa_.activated_at(i) == s) return;
+      did_work = true;
+      if (profiled) ++st.prof_tick;
+      if constexpr (kPlainGossip) {
+        if (soa_.node(i).in_plain_gossip(s)) {
+          // Batched plain-gossip emission: same RNG draw, SendGate slot
+          // and message as the protocol's own on_tick would produce.
+          do_send(sidx, i, soa_.rng(i).other_node(i, cfg_.n),
+                  plain_gossip_msg(s));
+          return;
+        }
+      }
+      ShardView view{this, sidx};
+      Ctx ctx(view, i);
+      soa_.node(i).on_tick(ctx);
+    });
+  }
+  if (!did_work) ++st.window_stalls;
+}
+
+template <class Node>
+RunMetrics ShardedEngine<Node>::run() {
+  const auto n = static_cast<std::size_t>(cfg_.n);
+  // 64-aligned contiguous blocks: bitmap words and byte arrays stay
+  // owner-disjoint (see runtime/parallel_engine.hpp).
+  block_ = (cfg_.n + static_cast<NodeId>(nshards_) - 1) /
+           static_cast<NodeId>(nshards_);
+  block_ = ((block_ + 63) / 64) * 64;
+  if (block_ < 1) block_ = 1;
+  window_ = cfg_.logp.delivery_delay();
+  CG_CHECK(window_ >= 1);
+
+  soa_.reset(cfg_.n, cfg_.seed, params_);
+  net_.reset(cfg_);
+  gate_.reset(cfg_.n);
+  crash_at_.assign(n, kNever);
+  restart_up_.assign(n, kNever);
+
+  const auto cal_slots = static_cast<std::size_t>(net_.max_delay()) + 1;
+  shards_.assign(static_cast<std::size_t>(nshards_), ShardState{});
+  for (int w = 0; w < nshards_; ++w) {
+    auto& st = shards_[static_cast<std::size_t>(w)];
+    st.lo = std::min(static_cast<NodeId>(w) * block_, cfg_.n);
+    st.hi = std::min((static_cast<NodeId>(w) + 1) * block_, cfg_.n);
+    st.calendar.assign(cal_slots, {});
+    if (cfg_.rx == RxPolicy::kOnePerStep) {
+      st.inbox.reset(static_cast<std::size_t>(st.hi - st.lo));
+      st.inbox_bits.reset(st.hi - st.lo);
+    }
+  }
+
+  metrics_ = RunMetrics{};
+  any_crash_ =
+      !cfg_.failures.online.empty() || !cfg_.failures.restarts.empty();
+  window_lo_ = 0;
+  win_parity_ = 0;
+  windows_done_ = 0;
+  active_count_ = 0;
+  in_flight_ = 0;
+  pending_restarts_ = 0;
+  last_activity_ = -1;
+  stop_ = false;
+
+  for (const NodeId i : cfg_.failures.pre_failed) soa_.pre_fail(i);
+  for (const auto& of : cfg_.failures.online) {
+    auto& ca = crash_at_[static_cast<std::size_t>(of.node)];
+    ca = std::min(ca, of.at_step);
+  }
+  for (const auto& r : cfg_.failures.restarts) {
+    const auto idx = static_cast<std::size_t>(r.node);
+    crash_at_[idx] = std::min(crash_at_[idx], r.down_at);
+    restart_up_[idx] = r.up_at;
+    shards_[static_cast<std::size_t>(owner_of(r.node))].revives.push_back(r);
+    ++pending_restarts_;
+  }
+  for (auto& st : shards_)
+    std::stable_sort(st.revives.begin(), st.revives.end(),
+                     [](const Restart& a, const Restart& b) {
+                       return a.up_at < b.up_at;
+                     });
+  CG_CHECK_MSG(soa_.alive(cfg_.root), "root must be active at start");
+
+  EngineProfile* prof = cfg_.profile;
+  if (prof != nullptr) *prof = EngineProfile{};
+  const auto prof_run0 = ProfileClock::now();
+
+  // Start: single-threaded on_start at step 0; sends land directly in the
+  // destination shard's calendar (in_start_ gates the outbox path).
+  soa_.activate(cfg_.root, 0);
+  active_count_ = 1;
+  in_start_ = true;
+  for (NodeId i = 0; i < cfg_.n; ++i) {
+    if (!soa_.alive(i)) continue;
+    if (prof != nullptr) ++prof->callbacks_start;
+    ShardView view{this, owner_of(i)};
+    Ctx ctx(view, i);
+    soa_.node(i).on_start(ctx);
+  }
+  in_start_ = false;
+  fold_deltas();
+  last_activity_ = -1;  // on_start activity is folded into the t_end=0 case
+  flush_traces();
+
+  const Step max_steps = cfg_.effective_max_steps();
+  Step t_end = 0;
+
+  if (quiescent()) {
+    // Quiescent straight out of on_start (e.g. n == 1): the stepped
+    // engine's loop never runs and t_end stays 0.
+    t_end = 0;
+  } else {
+    auto on_window_done = [this, max_steps]() noexcept {
+      fold_deltas();
+      flush_traces();
+      window_lo_ = std::min(window_lo_ + window_, max_steps);
+      win_parity_ ^= 1;
+      ++windows_done_;
+      if (quiescent()) {
+        stop_ = true;
+      } else if (window_lo_ >= max_steps) {
+        metrics_.hit_max_steps = true;
+        stop_ = true;
+      }
+    };
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int spin =
+        (hw != 0 && static_cast<unsigned>(nshards_) <= hw) ? 2048 : 0;
+    SenseBarrier bar(nshards_, on_window_done, spin);
+
+    auto shard_fn = [this, &bar, max_steps](int sidx) {
+      auto& st = shards_[static_cast<std::size_t>(sidx)];
+      const bool profiled = cfg_.profile != nullptr;
+      std::int64_t wk = 0;
+      for (;;) {
+        const Step win_lo = window_lo_;
+        const Step win_hi = std::min(win_lo + window_, max_steps);
+        const auto par = static_cast<std::size_t>(win_parity_);
+        const auto prof_a0 =
+            profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
+        // Reuse this parity's outbox: its readers (phase B two windows
+        // ago) all passed the intervening barrier (cf. parallel engine).
+        if (wk > 1) st.outbox[par].clear();
+        run_window(sidx, win_lo, win_hi);
+        if (profiled) st.prof_a_s += ProfileClock::seconds_since(prof_a0);
+        bar.arrive_and_wait();
+        if (stop_) break;
+        const auto prof_b0 =
+            profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
+        // Phase B: pull owned destinations out of every shard's sealed
+        // parity outbox into the private calendar.  Slot order does not
+        // matter - slots are canonically sorted at dispatch.
+        for (const auto& other : shards_) {
+          for (const auto& bm : other.outbox[par]) {
+            if (bm.to >= st.lo && bm.to < st.hi)
+              st.calendar[ring_slot(st, bm.at)].push_back(
+                  {bm.sent_at, bm.to, bm.msg});
+          }
+        }
+        if (profiled) st.prof_b_s += ProfileClock::seconds_since(prof_b0);
+        ++wk;
+      }
+    };
+
+    if (nshards_ == 1) {
+      shard_fn(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(nshards_ - 1));
+      for (int w = 1; w < nshards_; ++w) pool.emplace_back(shard_fn, w);
+      shard_fn(0);
+      for (auto& th : pool) th.join();
+    }
+
+    t_end = metrics_.hit_max_steps ? max_steps : last_activity_ + 1;
+  }
+
+  // Crashes of nodes the run never touched (cold kills): apply those the
+  // stepped engine would have reached - scheduled strictly before t_end.
+  if (any_crash_) for (NodeId i = 0; i < cfg_.n; ++i) {
+    const Step ca = crash_at_[static_cast<std::size_t>(i)];
+    if (ca == kNever || ca >= t_end) continue;
+    const auto t = soa_.kill(i);
+    if (t.changed && cfg_.trace != nullptr)
+      cfg_.trace->on_event({std::max<Step>(ca, 0), TraceEvent::Kind::kFail, i,
+                            kNoNode, Tag::kGossip});
+  }
+
+  if (prof != nullptr) {
+    for (const auto& st : shards_) {
+      prof->callbacks_receive += st.prof_receive;
+      prof->callbacks_tick += st.prof_tick;
+      prof->events_scheduled += st.prof_scheduled;
+      prof->events_fired += st.prof_fired;
+      prof->queue_max_bucket =
+          std::max(prof->queue_max_bucket, st.prof_max_bucket);
+      prof->deliver_s = std::max(prof->deliver_s, st.prof_a_s);
+      prof->route_s = std::max(prof->route_s, st.prof_b_s);
+      prof->boundary_msgs += st.boundary_msgs;
+      prof->window_stalls += st.window_stalls;
+      prof->shard_stats.push_back(
+          {st.prof_fired, st.boundary_msgs, st.window_stalls});
+    }
+    prof->shards = nshards_;
+    prof->windows = windows_done_;
+    prof->steps = t_end;
+    prof->bytes_per_node =
+        static_cast<std::int64_t>(footprint_bytes() / n);
+    prof->peak_rss_bytes = current_peak_rss_bytes();
+    prof->wall_s = ProfileClock::seconds_since(prof_run0);
+  }
+  for (const auto& st : shards_) st.counts.merge_into(metrics_);
+  soa_.finalize(metrics_, cfg_.root, t_end, cfg_.record_node_detail);
+  return metrics_;
+}
+
+}  // namespace cg

@@ -1,5 +1,6 @@
-// Cross-engine parity: the stepped, event-driven and parallel engines all
-// execute on the shared simulation core (src/sim/core/) and must produce
+// Cross-engine parity: the stepped, event-driven, parallel and window-
+// sharded engines all execute on the shared simulation core
+// (src/sim/core/) and must produce
 // IDENTICAL metrics for the same RunConfig - including with per-message
 // jitter, message loss, pre-run and online failures, and both receive
 // policies - for every corrected-gossip protocol.
@@ -111,11 +112,13 @@ TEST_P(EnginesAgree, OnHarshNetwork) {
       run_once(algo, acfg, cfg, {EngineKind::kParallel, 2});
   const RunMetrics par5 =
       run_once(algo, acfg, cfg, {EngineKind::kParallel, 5});
+  const RunMetrics sh2 = run_once(algo, acfg, cfg, {EngineKind::kSharded, 2});
 
   SCOPED_TRACE(algo_name(algo));
   expect_same(serial, async);
   expect_same(serial, par2);
   expect_same(serial, par5);
+  expect_same(serial, sh2);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -145,10 +148,12 @@ TEST_P(EnginesAgreeOnFaults, FullFaultStack) {
   const RunMetrics async = run_once(algo, acfg, cfg, {EngineKind::kAsync, 1});
   const RunMetrics par3 =
       run_once(algo, acfg, cfg, {EngineKind::kParallel, 3});
+  const RunMetrics sh4 = run_once(algo, acfg, cfg, {EngineKind::kSharded, 4});
 
   SCOPED_TRACE(algo_name(algo));
   expect_same(serial, async);
   expect_same(serial, par3);
+  expect_same(serial, sh4);
   if (reliable) {
     EXPECT_GT(serial.msgs_retrans, 0);  // bursts force retries
   }
@@ -187,6 +192,8 @@ TEST(EngineParity, FaultTraceJsonlIsByteIdenticalAcrossEngines) {
   EXPECT_EQ(serial, canonical_jsonl(EngineKind::kAsync, 1));
   EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 2));
   EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 5));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kSharded, 1));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kSharded, 3));
 }
 
 // Node-level agreement: with record_node_detail every per-node coloring /
@@ -201,12 +208,17 @@ TEST(EngineParity, NodeDetailMatchesAcrossEngines) {
       run_once(Algo::kFcg, acfg, cfg, {EngineKind::kAsync, 1});
   const RunMetrics par =
       run_once(Algo::kFcg, acfg, cfg, {EngineKind::kParallel, 3});
+  const RunMetrics sh =
+      run_once(Algo::kFcg, acfg, cfg, {EngineKind::kSharded, 2});
   EXPECT_EQ(serial.colored_at, async.colored_at);
   EXPECT_EQ(serial.colored_at, par.colored_at);
+  EXPECT_EQ(serial.colored_at, sh.colored_at);
   EXPECT_EQ(serial.delivered_at, async.delivered_at);
   EXPECT_EQ(serial.delivered_at, par.delivered_at);
+  EXPECT_EQ(serial.delivered_at, sh.delivered_at);
   EXPECT_EQ(serial.completed_at, async.completed_at);
   EXPECT_EQ(serial.completed_at, par.completed_at);
+  EXPECT_EQ(serial.completed_at, sh.completed_at);
 }
 
 using EvKey = std::tuple<Step, int, NodeId, NodeId, int>;
@@ -272,6 +284,7 @@ TEST(EngineParity, CanonicalJsonlIsByteIdenticalAcrossEngines) {
   EXPECT_EQ(serial, canonical_jsonl(EngineKind::kAsync, 1));
   EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 2));
   EXPECT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 5));
+  EXPECT_EQ(serial, canonical_jsonl(EngineKind::kSharded, 2));
 }
 
 // The engines' self-profiles must agree on the callback counts (they run
@@ -291,6 +304,7 @@ TEST(EngineParity, ProfileCallbackCountsMatchAcrossEngines) {
   const EngineProfile serial = profiled(EngineKind::kStepped, 1);
   const EngineProfile async = profiled(EngineKind::kAsync, 1);
   const EngineProfile par = profiled(EngineKind::kParallel, 3);
+  const EngineProfile sh = profiled(EngineKind::kSharded, 3);
   EXPECT_GT(serial.callbacks_receive, 0);
   EXPECT_GT(serial.callbacks_tick, 0);
   EXPECT_EQ(serial.callbacks_start, async.callbacks_start);
@@ -299,6 +313,21 @@ TEST(EngineParity, ProfileCallbackCountsMatchAcrossEngines) {
   EXPECT_EQ(serial.callbacks_start, par.callbacks_start);
   EXPECT_EQ(serial.callbacks_receive, par.callbacks_receive);
   EXPECT_EQ(serial.callbacks_tick, par.callbacks_tick);
+  EXPECT_EQ(serial.callbacks_start, sh.callbacks_start);
+  EXPECT_EQ(serial.callbacks_receive, sh.callbacks_receive);
+  EXPECT_EQ(serial.callbacks_tick, sh.callbacks_tick);
+
+  // Memory-plan accounting: every engine reports a positive per-node
+  // footprint and the process peak RSS.
+  for (const EngineProfile* p : {&serial, &async, &par, &sh}) {
+    EXPECT_GT(p->bytes_per_node, 0);
+    EXPECT_GT(p->peak_rss_bytes, 0);
+  }
+  // Sharded-only substrate counters.
+  EXPECT_EQ(sh.shards, 3);
+  EXPECT_GT(sh.windows, 0);
+  EXPECT_EQ(static_cast<int>(sh.shard_stats.size()), 3);
+  EXPECT_GT(sh.boundary_msgs, 0);  // 3 shards on 150 nodes must cross
 
   // Queue instrumentation.  The stepped engines count delivery-calendar
   // traffic (one event per undropped message), so serial and parallel must
@@ -404,6 +433,9 @@ TEST(EngineParity, RandomizedFaultStacksTraceByteParity) {
     ASSERT_EQ(serial, canonical_jsonl(EngineKind::kAsync, 1));
     if (seed % 10 == 0) {
       ASSERT_EQ(serial, canonical_jsonl(EngineKind::kParallel, 3));
+    }
+    if (seed % 5 == 0) {
+      ASSERT_EQ(serial, canonical_jsonl(EngineKind::kSharded, 2));
     }
   }
 }
