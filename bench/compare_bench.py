@@ -15,7 +15,13 @@ observed rate is the most stable estimator of achievable throughput there
 Usage:
   bench/compare_bench.py --binary build/bench/micro_engine \
       [--baseline BENCH_engine.json] [--tolerance 0.05] [--reps 2] \
-      [--filter 'BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)']
+      [--filter 'BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)'] \
+      [--overhead BASE:PROBE:FRAC ...]
+
+--overhead compares two benchmarks WITHIN the current run (no baseline
+needed): PROBE must reach at least (1 - FRAC) * BASE items/s.  This is how
+the telemetry-on probe is held to the observability contract, e.g.:
+  --overhead 'BM_EngineSharded/4096/1:BM_EngineShardedTelemetry/4096/1:0.05'
 
 Exit status: 0 = no regression, 1 = regression, 2 = usage/setup error.
 """
@@ -83,7 +89,27 @@ def main() -> int:
                     help="benchmark process invocations; best rate wins")
     ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)",
                     help="regex passed to --benchmark_filter")
+    ap.add_argument("--overhead", action="append", default=[],
+                    metavar="BASE:PROBE:FRAC",
+                    help="require PROBE >= (1-FRAC)*BASE within this run; "
+                         "repeatable")
     args = ap.parse_args()
+
+    overhead_checks = []
+    for spec in args.overhead:
+        parts = spec.rsplit(":", 1)
+        names = parts[0].split(":") if len(parts) == 2 else []
+        if len(parts) != 2 or len(names) != 2:
+            print(f"error: bad --overhead spec {spec!r} "
+                  "(want BASE:PROBE:FRAC)", file=sys.stderr)
+            return 2
+        try:
+            frac = float(parts[1])
+        except ValueError:
+            print(f"error: bad --overhead fraction in {spec!r}",
+                  file=sys.stderr)
+            return 2
+        overhead_checks.append((names[0], names[1], frac))
 
     if not args.binary.is_file():
         print(f"error: benchmark binary not found: {args.binary}",
@@ -114,6 +140,22 @@ def main() -> int:
               f"{ratio:7.3f}{flag}")
         if flag:
             regressed.append(name)
+
+    # Same-run overhead gates (probe vs base, independent of the baseline).
+    for base_name, probe_name, frac in overhead_checks:
+        missing = [n for n in (base_name, probe_name) if n not in best]
+        if missing:
+            print(f"error: --overhead benchmark(s) not in output: "
+                  f"{', '.join(missing)} (widen --filter?)", file=sys.stderr)
+            return 2
+        checked += 1
+        ratio = best[probe_name] / best[base_name]
+        flag = "" if ratio >= 1.0 - frac else "  << REGRESSION"
+        print(f"{probe_name:35} {best[base_name]:9.3f} "
+              f"{best[probe_name]:9.3f} {ratio:7.3f}{flag}"
+              f"  (overhead gate {frac:.0%})")
+        if flag:
+            regressed.append(probe_name)
 
     if checked == 0:
         print("error: no benchmarks compared (filter too narrow?)",

@@ -10,6 +10,7 @@
 #include "gossip/fcg.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runner.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/sharded_engine.hpp"
@@ -155,6 +156,33 @@ BENCHMARK(BM_EngineSharded)
     ->Args({4096, 8})
     ->Args({65536, 1})
     ->Args({65536, 8})
+    ->Args({1048576, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead probe: BM_EngineSharded with a Telemetry registry
+// attached.  The PR 2 observability contract caps the regression vs the
+// plain run at 5% (compare_bench.py --overhead gates it in bench-smoke;
+// the measured numbers live in BENCH_engine.json).
+void BM_EngineShardedTelemetry(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto shards = static_cast<int>(state.range(1));
+  std::uint64_t seed = 1;
+  Telemetry telemetry;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    cfg.telemetry = &telemetry;
+    CcgNode::Params p;
+    p.T = 30;
+    ShardedEngine<CcgNode> eng(cfg, p, shards);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineShardedTelemetry)
+    ->Args({4096, 1})
     ->Args({1048576, 1})
     ->Unit(benchmark::kMillisecond);
 

@@ -32,6 +32,16 @@
 //                         event, anything else gets Chrome trace-event JSON
 //                         (open in https://ui.perfetto.dev)
 //   --series-out=<file>   per-step time series; *.csv or JSON by extension
+//   --series-stride=K     fold K consecutive steps into one series row
+//                         (big runs; drift check needs stride 1)
+//   --sample-out=<file>   deterministic reservoir sample of the trace
+//                         (--sample-k events, default 4096; byte-identical
+//                         across engines and shard/thread counts); *.jsonl
+//                         or Chrome JSON by extension
+//   --histograms          telemetry histograms (coloring latency, inbox
+//                         depth, boundary traffic, retransmits) as a table
+//                         and a "telemetry" report-JSON object
+//   --heartbeat=SECONDS   single-line JSON progress on stderr
 //   --report-json=<file>  machine-readable report: config, aggregate with
 //                         percentiles, trial-0 metrics / engine profile /
 //                         drift vs the analytic c(t)
@@ -45,6 +55,8 @@
 #include "common/table.hpp"
 #include "harness/scenarios.hpp"
 #include "obs/json.hpp"
+#include "obs/sampling_sink.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/fault/validate.hpp"
 #include "obs/report.hpp"
 #include "obs/series.hpp"
@@ -150,6 +162,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(spec.acfg.T), spec.trials, pre, online,
               static_cast<long long>(spec.jitter_max), eps);
 
+  // Progress heartbeat: single-line JSON on stderr, covering both the
+  // trial farm and the observability replay.
+  std::unique_ptr<Heartbeat> heartbeat;
+  if (flags.has("heartbeat"))
+    heartbeat = std::make_unique<Heartbeat>(
+        stderr, flags.get_double("heartbeat", 5.0), "cgsim");
+  spec.heartbeat = heartbeat.get();
+
   const TrialAggregate agg = run_trials(spec);
 
   // Observability replay: re-run trial #0 (exact same seed and failure
@@ -157,15 +177,26 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string series_out = flags.get_string("series-out", "");
   const std::string report_out = flags.get_string("report-json", "");
-  const bool observe =
-      !trace_out.empty() || !series_out.empty() || !report_out.empty();
+  const std::string sample_out = flags.get_string("sample-out", "");
+  const bool histograms = flags.get_bool("histograms", false);
+  const Step series_stride = flags.get_int("series-stride", 1);
+  if (series_stride < 1) {
+    std::fprintf(stderr, "cgsim: --series-stride must be >= 1\n");
+    return 2;
+  }
+  const bool observe = !trace_out.empty() || !series_out.empty() ||
+                       !report_out.empty() || !sample_out.empty() ||
+                       histograms;
 
   RunMetrics trial0;
   EngineProfile profile;
+  Telemetry telemetry;
   obs::StepSeries series;
+  series.set_stride(series_stride);
   obs::DriftReport drift;
   bool have_drift = false;
   bool trace_ok = true;
+  bool sample_ok = true;
   if (observe) {
     obs::TeeTraceSink tee;
     tee.add(&series);
@@ -182,12 +213,39 @@ int main(int argc, char** argv) {
       }
     }
     RunConfig rcfg = trial_run_config(spec, 0);
+    // The reservoir is seeded from the trial's run seed so the sampled
+    // event set is a pure function of the run, not of the engine or its
+    // shard/thread count.
+    std::unique_ptr<obs::SamplingTraceSink> sampler;
+    if (!sample_out.empty()) {
+      const auto k = static_cast<std::size_t>(
+          std::max<std::int64_t>(flags.get_int("sample-k", 4096), 1));
+      sampler = std::make_unique<obs::SamplingTraceSink>(rcfg.seed, k);
+      tee.add(sampler.get());
+    }
     rcfg.trace = &tee;
     rcfg.profile = &profile;
+    if (histograms) rcfg.telemetry = &telemetry;
+    rcfg.heartbeat = heartbeat.get();
     trial0 = run_once(algo, spec.acfg, rcfg, spec.exec);
     if (chrome) trace_ok = chrome->close();
+    if (sampler) {
+      const std::vector<TraceEvent> sampled = sampler->sample();
+      if (sample_out.ends_with(".jsonl")) {
+        sample_ok = write_file(sample_out, obs::to_jsonl(sampled));
+      } else {
+        obs::ChromeTraceSink csink(sample_out, logp.o_us);
+        for (const auto& ev : sampled) csink.on_event(ev);
+        sample_ok = csink.close();
+      }
+      if (sample_ok)
+        std::printf("sample (trial 0, %zu of %lld events): %s\n",
+                    sampled.size(),
+                    static_cast<long long>(sampler->seen()),
+                    sample_out.c_str());
+    }
 
-    if (is_gossip_family(algo) && series.steps() > 0) {
+    if (is_gossip_family(algo) && series_stride == 1 && series.steps() > 0) {
       // Compare against the analytic c(t) over the gossip window only: the
       // recurrence models gossip coloring, and for the corrected variants
       // the tail of the curve is correction work it does not describe.
@@ -250,8 +308,33 @@ int main(int argc, char** argv) {
   else
     table.print();
 
+  if (histograms) {
+    const TelemetryCell& mc = telemetry.merged();
+    std::printf("telemetry (trial 0): %lld colorings, %lld deliveries\n",
+                static_cast<long long>(mc.colorings),
+                static_cast<long long>(mc.deliveries));
+    Table ht({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    const auto row = [&ht](const char* name, const LogHistogram& h) {
+      ht.add_row({name, Table::cell("%lld", static_cast<long long>(h.count())),
+                  Table::cell("%.2f", h.mean()),
+                  Table::cell("%lld", static_cast<long long>(h.quantile(0.5))),
+                  Table::cell("%lld", static_cast<long long>(h.quantile(0.9))),
+                  Table::cell("%lld", static_cast<long long>(h.quantile(0.99))),
+                  Table::cell("%lld", static_cast<long long>(h.max_bound()))});
+    };
+    row("coloring latency (steps)", mc.coloring_latency);
+    row("inbox depth (msgs per node-step)", mc.inbox_depth);
+    row("window boundary (msgs per shard-window)", mc.window_boundary);
+    row("retransmits (msgs per run)", telemetry.retransmits());
+    ht.print();
+  }
+
   int rc = 0;
   if (observe) {
+    if (!sample_out.empty() && !sample_ok) {
+      std::fprintf(stderr, "cgsim: cannot write %s\n", sample_out.c_str());
+      rc = 1;
+    }
     if (!trace_out.empty()) {
       if (trace_ok) {
         std::printf("trace (trial 0): %s\n", trace_out.c_str());
@@ -314,6 +397,10 @@ int main(int argc, char** argv) {
       obs::write_json(w, trial0);
       w.key("engine_profile");
       obs::write_json(w, profile);
+      if (histograms) {
+        w.key("telemetry");
+        obs::write_json(w, telemetry);
+      }
       w.key("drift");
       w.begin_object();
       if (have_drift) {

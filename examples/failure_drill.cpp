@@ -9,13 +9,16 @@
 //                   [--drop-prob=0] [--burst-loss=0] [--burst-mean=4]
 //                   [--restart=0] [--stragglers=0] [--reliable]
 //                   [--engine=stepped|async|parallel|sharded] [--shards=K]
+//                   [--heartbeat=SECONDS]
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scenarios.hpp"
+#include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace cg;
@@ -39,6 +42,10 @@ int main(int argc, char** argv) {
   exec.threads = static_cast<int>(flags.get_int("shards", 1));
   const LogP logp = LogP::piz_daint();
   const double eps = 1e-4;
+  std::unique_ptr<Heartbeat> heartbeat;
+  if (flags.has("heartbeat"))
+    heartbeat = std::make_unique<Heartbeat>(
+        stderr, flags.get_double("heartbeat", 5.0), "drill");
 
   std::printf("failure drill: N=%d, random crashes while the broadcast "
               "runs, %d trials per cell\n", n, trials);
@@ -56,6 +63,7 @@ int main(int argc, char** argv) {
       const TunedAlgo tuned = tune_for(a, n, n, logp, eps, /*f=*/1);
       TrialSpec spec;
       spec.threads = static_cast<int>(flags.get_int("threads", 0));
+      spec.heartbeat = heartbeat.get();
       spec.exec = exec;
       spec.algo = a;
       spec.acfg = tuned.acfg;

@@ -7,9 +7,21 @@
 //
 //   ./fault_campaign [--n=128] [--trials=100] [--seed=21] [--threads=0]
 //                    [--report-json=campaign.json] [--strict]
+//                    [--artifacts-dir=<dir>] [--heartbeat=SECONDS]
+//                    [--replay=scenario/entry/trial] [--replay-out=<file>]
 //
 // --strict makes a failed guarantee cell a non-zero exit (CI gate).
+//
+// Failure forensics (docs/OBSERVABILITY.md "Failure forensics"):
+// --artifacts-dir attaches a flight recorder to every trial; each
+// guarantee-violating or truncated trial dumps its recent-event ring to
+// `<dir>/<scenario>__<entry>__t<trial>.jsonl` whose header carries the
+// exact --replay command.  --replay re-executes that one trial on the
+// stepped engine (same seed and fault schedule) and, with --replay-out,
+// writes its full JSONL trace - the artifact ring is the exact suffix.
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "common/flags.hpp"
@@ -17,6 +29,8 @@
 #include "harness/campaign.hpp"
 #include "harness/scenarios.hpp"
 #include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sinks.hpp"
 
 namespace {
 
@@ -26,6 +40,63 @@ bool write_file(const std::string& path, const std::string& content) {
   const bool ok =
       std::fwrite(content.data(), 1, content.size(), f) == content.size();
   return std::fclose(f) == 0 && ok;
+}
+
+/// Re-run one campaign trial (named "scenario/entry/trial") on the stepped
+/// engine with an optional full JSONL trace attached.
+int replay_trial(const cg::CampaignConfig& cfg,
+                 const std::vector<cg::FaultScenario>& scenarios,
+                 const std::vector<cg::CampaignEntry>& entries,
+                 const std::string& what, const std::string& trace_out) {
+  using namespace cg;
+  const auto first = what.find('/');
+  const auto last = what.rfind('/');
+  if (first == std::string::npos || last == first) {
+    std::fprintf(stderr,
+                 "fault_campaign: --replay wants scenario/entry/trial\n");
+    return 2;
+  }
+  const std::string sc_name = what.substr(0, first);
+  const std::string en_label = what.substr(first + 1, last - first - 1);
+  const int trial = std::atoi(what.c_str() + last + 1);
+
+  const FaultScenario* sc = nullptr;
+  for (const auto& s : scenarios)
+    if (s.name == sc_name) sc = &s;
+  const CampaignEntry* en = nullptr;
+  for (const auto& e : entries)
+    if (e.label == en_label) en = &e;
+  if (sc == nullptr || en == nullptr || trial < 0 || trial >= cfg.trials) {
+    std::fprintf(stderr, "fault_campaign: unknown cell or trial \"%s\"\n",
+                 what.c_str());
+    return 2;
+  }
+
+  const TrialSpec spec = campaign_trial_spec(cfg, *sc, *en);
+  RunConfig rcfg = trial_run_config(spec, trial);
+  std::unique_ptr<obs::JsonlTraceSink> sink;
+  if (!trace_out.empty()) {
+    sink = std::make_unique<obs::JsonlTraceSink>(trace_out);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "fault_campaign: cannot write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    rcfg.trace = sink.get();
+  }
+  const RunMetrics m = run_once(spec.algo, spec.acfg, rcfg);
+  const Guarantee g = campaign_effective_guarantee(en->guarantee, *sc);
+  std::printf(
+      "replay %s: colored %d/%d, delivered %d, msgs %lld (%lld retrans), "
+      "sos=%s, truncated=%s\n",
+      what.c_str(), m.n_colored, m.n_active, m.n_delivered,
+      static_cast<long long>(m.msgs_total),
+      static_cast<long long>(m.msgs_retrans), m.sos_triggered ? "yes" : "no",
+      m.hit_max_steps ? "yes" : "no");
+  std::printf("guarantee %s: %s\n", guarantee_name(g),
+              trial_violates(g, m) ? "VIOLATED" : "holds");
+  if (sink) std::printf("trace: %s\n", trace_out.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -48,6 +119,32 @@ int main(int argc, char** argv) {
     for (auto& e : default_entries(a, tuned.acfg)) entries.push_back(e);
   }
   const auto scenarios = default_fault_scenarios();
+
+  const std::string replay = flags.get_string("replay", "");
+  if (!replay.empty())
+    return replay_trial(cfg, scenarios, entries, replay,
+                        flags.get_string("replay-out", ""));
+
+  cfg.artifacts_dir = flags.get_string("artifacts-dir", "");
+  if (!cfg.artifacts_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.artifacts_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "fault_campaign: cannot create %s: %s\n",
+                   cfg.artifacts_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    char prefix[128];
+    std::snprintf(prefix, sizeof prefix,
+                  "./fault_campaign --n=%d --seed=%llu --trials=%d", cfg.n,
+                  static_cast<unsigned long long>(cfg.seed), cfg.trials);
+    cfg.rerun_prefix = prefix;
+  }
+  std::unique_ptr<Heartbeat> heartbeat;
+  if (flags.has("heartbeat"))
+    heartbeat = std::make_unique<Heartbeat>(
+        stderr, flags.get_double("heartbeat", 5.0), "campaign");
+  cfg.heartbeat = heartbeat.get();
 
   std::printf("fault campaign: N=%d, %d trials per cell, %zu scenarios x "
               "%zu entries\n\n",
@@ -74,6 +171,17 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\n%d/%zu guarantee cells failed\n", result.failed_cells,
               result.cells.size());
+
+  if (!result.artifacts.empty()) {
+    std::printf("\nfailure artifacts (%zu, <=%d per cell):\n",
+                result.artifacts.size(), cfg.max_artifacts_per_cell);
+    for (const auto& a : result.artifacts)
+      std::printf("  %s / %s trial %d%s -> %s\n", a.scenario.c_str(),
+                  a.entry.c_str(), a.trial,
+                  a.truncated_run ? " (truncated)" : "", a.path.c_str());
+    std::printf("each artifact's header line holds the exact --replay "
+                "command for that trial\n");
+  }
 
   const std::string report_out = flags.get_string("report-json", "");
   if (!report_out.empty()) {

@@ -1,8 +1,14 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace cg {
@@ -32,20 +38,98 @@ bool guarantee_holds(Guarantee g, const TrialAggregate& agg) {
   return false;
 }
 
-namespace {
+bool trial_violates(Guarantee g, const RunMetrics& m) {
+  if (m.hit_max_steps) return true;  // truncated: always forensic-worthy
+  switch (g) {
+    case Guarantee::kNone:
+      return false;
+    case Guarantee::kAllReached:
+      return !m.all_active_colored;
+    case Guarantee::kAllOrNothing:
+      return !m.all_or_nothing_delivery();
+    case Guarantee::kSosConsistent:
+      return !m.all_or_nothing_delivery() ||
+             (m.sos_triggered && !m.all_active_delivered);
+  }
+  return false;
+}
 
 /// What an entry may still claim in a given environment.  Crash faults void
 /// claims the algorithms never made: CCG's consistency assumes no failure
 /// during correction, and a restarted node rejoins uncolored (nobody owes
 /// it a resend once the sweep has passed), so reach/all-or-nothing
 /// predicates degrade to observation-only cells there.
-Guarantee effective_guarantee(Guarantee g, const FaultScenario& sc) {
+Guarantee campaign_effective_guarantee(Guarantee g, const FaultScenario& sc) {
   const bool crashes = sc.online_failures > 0 || sc.restarts > 0;
   if (!crashes || g == Guarantee::kNone) return g;
   if (g == Guarantee::kAllReached) return Guarantee::kNone;
   if (sc.restarts > 0) return Guarantee::kNone;
   return g;  // FCG-style claims survive plain crashes (f is sized below)
 }
+
+namespace {
+
+/// Collects flight-recorder dumps across workers.  Dumps are rare
+/// (violating trials only) and capped per cell, so a single mutex around
+/// the whole dump path costs nothing in the steady state.
+class ArtifactSink {
+ public:
+  ArtifactSink(const CampaignConfig& cfg, const std::vector<CampaignCell>& cells)
+      : cfg_(cfg), cells_(cells), dumped_(cells.size(), 0) {}
+
+  /// Called after a violating trial: dump `fr` and remember the artifact.
+  void dump(int cell, int trial, std::uint64_t seed,
+            const obs::FlightRecorder& fr, const RunMetrics& m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto c = static_cast<std::size_t>(cell);
+    if (dumped_[c] >= cfg_.max_artifacts_per_cell) return;
+    FailureArtifact art;
+    art.scenario = cells_[c].scenario;
+    art.entry = cells_[c].entry;
+    art.trial = trial;
+    art.seed = seed;
+    art.truncated_run = m.hit_max_steps;
+    art.path = cfg_.artifacts_dir + "/" + art.scenario + "__" + art.entry +
+               "__t" + std::to_string(trial) + ".jsonl";
+    obs::FlightRecorder::DumpInfo info;
+    std::string rerun = cfg_.rerun_prefix;
+    if (!rerun.empty()) rerun += ' ';
+    rerun += "--replay=" + art.scenario + "/" + art.entry + "/" +
+             std::to_string(trial);
+    info.rerun = rerun;
+    info.scenario = art.scenario;
+    info.entry = art.entry;
+    info.trial = trial;
+    info.seed = seed;
+    info.truncated_run = m.hit_max_steps;
+    if (!fr.dump_jsonl(art.path, info)) return;
+    ++dumped_[c];
+    recs_.push_back({cell, std::move(art)});
+  }
+
+  /// Artifacts in deterministic (cell, trial) order.
+  std::vector<FailureArtifact> take_sorted() {
+    std::sort(recs_.begin(), recs_.end(), [](const Rec& a, const Rec& b) {
+      return a.cell != b.cell ? a.cell < b.cell : a.art.trial < b.art.trial;
+    });
+    std::vector<FailureArtifact> out;
+    out.reserve(recs_.size());
+    for (auto& r : recs_) out.push_back(std::move(r.art));
+    recs_.clear();
+    return out;
+  }
+
+ private:
+  struct Rec {
+    int cell;
+    FailureArtifact art;
+  };
+  const CampaignConfig& cfg_;
+  const std::vector<CampaignCell>& cells_;
+  std::mutex mu_;
+  std::vector<int> dumped_;
+  std::vector<Rec> recs_;
+};
 
 }  // namespace
 
@@ -96,7 +180,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
       CampaignCell cell;
       cell.scenario = sc.name;
       cell.entry = e.label;
-      cell.guarantee = effective_guarantee(e.guarantee, sc);
+      cell.guarantee = campaign_effective_guarantee(e.guarantee, sc);
       result.cells.push_back(std::move(cell));
       specs.push_back(campaign_trial_spec(cfg, sc, e));
     }
@@ -127,29 +211,69 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
                          std::min(t0 + unit, cfg.trials)});
   }
 
+  // Forensics: one flight recorder per worker, cleared between trials and
+  // dumped (under ArtifactSink's cap) whenever the cell's per-trial
+  // predicate fires.  The sinks observe only, so attaching them cannot
+  // perturb the metrics - the campaign stays byte-identical with and
+  // without an artifacts_dir.
+  const bool forensics = !cfg.artifacts_dir.empty();
+  const std::size_t flight_cap =
+      cfg.flight_capacity > 0 ? static_cast<std::size_t>(cfg.flight_capacity)
+                              : obs::FlightRecorder::kDefaultCapacity;
+  ArtifactSink artifacts(cfg, result.cells);
+  std::atomic<std::int64_t> done{0};
+  std::atomic<std::int64_t> violations{0};
+  const auto run_trial = [&](TrialWorkspace& w, obs::FlightRecorder* fr,
+                             int cell, int t) {
+    if (fr != nullptr) fr->clear();
+    const RunMetrics m = w.run(specs[static_cast<std::size_t>(cell)], t, fr);
+    if (trial_violates(result.cells[static_cast<std::size_t>(cell)].guarantee,
+                       m)) {
+      violations.fetch_add(1, std::memory_order_relaxed);
+      if (fr != nullptr)
+        artifacts.dump(cell, t,
+                       derive_seed(cfg.seed,
+                                   static_cast<std::uint64_t>(t) * 2 + 1),
+                       *fr, m);
+    }
+    if (cfg.heartbeat != nullptr)
+      cfg.heartbeat->beat(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                          total, violations.load(std::memory_order_relaxed));
+    return m;
+  };
+
   if (units.empty()) {  // serial path: one workspace, cells in order
     TrialWorkspace ws;
+    obs::FlightRecorder fr(flight_cap);
     for (std::size_t c = 0; c < n_cells; ++c) {
       auto& cell = result.cells[c];
       for (int t = 0; t < cfg.trials; ++t)
-        cell.agg.absorb(ws.run(specs[c], t));
+        cell.agg.absorb(run_trial(ws, forensics ? &fr : nullptr,
+                                  static_cast<int>(c), t));
     }
   } else {
     // Per-(cell, trial) result slots, reduced in (cell, trial) order
     // below - same determinism contract as run_trials.
     std::vector<RunMetrics> results(static_cast<std::size_t>(total));
     std::vector<TrialWorkspace> ws(static_cast<std::size_t>(threads));
+    std::vector<obs::FlightRecorder> frs;
+    if (forensics) {
+      frs.reserve(static_cast<std::size_t>(threads));
+      for (int i = 0; i < threads; ++i) frs.emplace_back(flight_cap);
+    }
     ThreadPool::global(threads).parallel_for(
         static_cast<std::int64_t>(units.size()), 1, threads,
         [&](std::int64_t begin, std::int64_t end, int slot) {
           auto& w = ws[static_cast<std::size_t>(slot)];
+          obs::FlightRecorder* fr =
+              forensics ? &frs[static_cast<std::size_t>(slot)] : nullptr;
           for (std::int64_t u = begin; u < end; ++u) {
             const Unit& un = units[static_cast<std::size_t>(u)];
             const auto base =
                 static_cast<std::int64_t>(un.cell) * cfg.trials;
             for (int t = un.t0; t < un.t1; ++t)
               results[static_cast<std::size_t>(base + t)] =
-                  w.run(specs[static_cast<std::size_t>(un.cell)], t);
+                  run_trial(w, fr, un.cell, t);
           }
         });
     for (std::size_t c = 0; c < n_cells; ++c) {
@@ -159,6 +283,10 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
         cell.agg.absorb(results[static_cast<std::size_t>(base + t)]);
     }
   }
+  result.artifacts = artifacts.take_sorted();
+  if (cfg.heartbeat != nullptr)
+    cfg.heartbeat->force(done.load(std::memory_order_relaxed), total,
+                         violations.load(std::memory_order_relaxed));
 
   for (auto& cell : result.cells) {
     cell.pass = guarantee_holds(cell.guarantee, cell.agg);

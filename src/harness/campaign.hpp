@@ -67,6 +67,25 @@ struct CampaignConfig {
   Step max_steps = 0;  ///< 0 = engine auto limit
   /// Engine carrying every cell's trials (identical results either way).
   ExecConfig exec{};
+
+  // --- Failure forensics (src/obs/flight_recorder.hpp) -------------------
+  /// When non-empty, every trial runs with a flight recorder attached and
+  /// each guarantee-violating or truncated trial dumps its ring to
+  /// `<artifacts_dir>/<scenario>__<entry>__t<trial>.jsonl`.  The directory
+  /// must already exist (examples/fault_campaign.cpp creates it).
+  std::string artifacts_dir;
+  /// Command prefix baked into each artifact's `rerun` field (e.g.
+  /// "./fault_campaign --n=64 --seed=1 --trials=100"); the runner appends
+  /// " --replay=<scenario>/<entry>/<trial>".
+  std::string rerun_prefix;
+  /// Flight-recorder ring capacity per worker; 0 = default (2048 events).
+  int flight_capacity = 0;
+  /// A systematically failing cell dumps at most this many artifacts -
+  /// forensics needs a few exemplars, not thousands of files.
+  int max_artifacts_per_cell = 4;
+  /// Optional progress channel; beaten once per finished trial with
+  /// failures = guarantee-violating or truncated trials so far.
+  Heartbeat* heartbeat = nullptr;
 };
 
 struct CampaignCell {
@@ -77,14 +96,37 @@ struct CampaignCell {
   TrialAggregate agg;
 };
 
+/// One dumped flight-recorder ring (see CampaignConfig::artifacts_dir).
+struct FailureArtifact {
+  std::string scenario;
+  std::string entry;
+  int trial = 0;
+  std::uint64_t seed = 0;      ///< the trial's RunConfig seed
+  std::string path;            ///< artifact JSONL on disk
+  bool truncated_run = false;  ///< trial hit max_steps
+};
+
 struct CampaignResult {
   std::vector<CampaignCell> cells;
+  /// Flight-recorder dumps, sorted in (cell, trial) order - deterministic
+  /// for every thread count, like the cells themselves.
+  std::vector<FailureArtifact> artifacts;
   int failed_cells = 0;
   bool all_pass() const { return failed_cells == 0; }
 };
 
 /// Evaluate `guarantee` over an aggregate (exposed for tests).
 bool guarantee_holds(Guarantee g, const TrialAggregate& agg);
+
+/// Per-trial forensics predicate: should this trial's flight-recorder
+/// ring be dumped?  True when the single-trial analogue of `g` is
+/// violated, and always when the trial truncated (hit max_steps).
+bool trial_violates(Guarantee g, const RunMetrics& m);
+
+/// The guarantee a cell actually asserts: crash faults void claims the
+/// algorithms never made (see the rationale in campaign.cpp).  Exposed so
+/// fault_campaign --replay evaluates the same predicate as the campaign.
+Guarantee campaign_effective_guarantee(Guarantee g, const FaultScenario& sc);
 
 /// The TrialSpec a given cell runs - exposed so a failing cell can be
 /// replayed with instrumentation attached.

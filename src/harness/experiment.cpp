@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include <atomic>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/fault/burst_loss.hpp"
 #include "sim/fault/partition.hpp"
@@ -76,6 +79,8 @@ void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out) {
   rcfg.record_node_detail = false;
   rcfg.trace = nullptr;
   rcfg.profile = nullptr;
+  rcfg.telemetry = nullptr;
+  rcfg.heartbeat = nullptr;
   rcfg.link_extra = nullptr;
   rcfg.link_extra_max = 0;
   rcfg.burst = BurstLoss{};
@@ -149,7 +154,13 @@ TrialWorkspace::TrialWorkspace(TrialWorkspace&&) noexcept = default;
 TrialWorkspace& TrialWorkspace::operator=(TrialWorkspace&&) noexcept = default;
 
 RunMetrics TrialWorkspace::run(const TrialSpec& spec, int trial) {
+  return run(spec, trial, nullptr);
+}
+
+RunMetrics TrialWorkspace::run(const TrialSpec& spec, int trial,
+                               TraceSink* trace) {
   trial_run_config_into(spec, trial, impl_->rcfg);
+  impl_->rcfg.trace = trace;
   // The zero-alloc reuse path exists only for the stepped engine; other
   // engines run fresh (their trial cost is dominated by the run itself).
   if (spec.exec.engine != EngineKind::kStepped)
@@ -178,7 +189,14 @@ TrialAggregate run_trials(const TrialSpec& spec) {
   TrialAggregate agg;
   if (threads <= 1) {
     TrialWorkspace ws;
-    for (int t = 0; t < spec.trials; ++t) agg.absorb(ws.run(spec, t));
+    std::int64_t failures = 0;
+    for (int t = 0; t < spec.trials; ++t) {
+      const RunMetrics m = ws.run(spec, t);
+      if (m.hit_max_steps) ++failures;
+      agg.absorb(m);
+      if (spec.heartbeat != nullptr)
+        spec.heartbeat->beat(t + 1, spec.trials, failures);
+    }
     return agg;
   }
 
@@ -187,13 +205,23 @@ TrialAggregate run_trials(const TrialSpec& spec) {
   // no matter how the pool interleaved the work.
   std::vector<RunMetrics> results(static_cast<std::size_t>(spec.trials));
   std::vector<TrialWorkspace> ws(static_cast<std::size_t>(threads));
+  std::atomic<std::int64_t> done{0};
+  std::atomic<std::int64_t> failed{0};
   ThreadPool::global(threads).parallel_for(
       spec.trials, farm_chunk(spec.trials, threads), threads,
       [&](std::int64_t begin, std::int64_t end, int slot) {
         auto& w = ws[static_cast<std::size_t>(slot)];
-        for (std::int64_t t = begin; t < end; ++t)
-          results[static_cast<std::size_t>(t)] =
+        for (std::int64_t t = begin; t < end; ++t) {
+          const RunMetrics& m = results[static_cast<std::size_t>(t)] =
               w.run(spec, static_cast<int>(t));
+          if (spec.heartbeat != nullptr) {
+            if (m.hit_max_steps)
+              failed.fetch_add(1, std::memory_order_relaxed);
+            spec.heartbeat->beat(
+                done.fetch_add(1, std::memory_order_relaxed) + 1, spec.trials,
+                failed.load(std::memory_order_relaxed));
+          }
+        }
       });
   for (const auto& m : results) agg.absorb(m);
   return agg;

@@ -33,6 +33,10 @@ struct TrialSpec {
   /// non-stepped engines bypass the EngineCache reuse path (they
   /// construct fresh per trial).
   ExecConfig exec{};
+  /// Optional progress channel (obs/telemetry.hpp): run_trials beats it
+  /// after every finished trial (the beat itself rate-limits output).
+  /// Not owned; never attached to individual runs.
+  Heartbeat* heartbeat = nullptr;
 
   // Failure sampling per trial (fresh schedule each trial).
   int pre_failures = 0;
@@ -117,6 +121,10 @@ class TrialWorkspace {
   /// Execute trial #`trial` of `spec`; same result as
   /// run_once(spec.algo, spec.acfg, trial_run_config(spec, trial)).
   RunMetrics run(const TrialSpec& spec, int trial);
+
+  /// Same, with `trace` attached to the trial's RunConfig - the campaign
+  /// runner's flight recorder hooks in here.  `trace` may be null.
+  RunMetrics run(const TrialSpec& spec, int trial, TraceSink* trace);
 
  private:
   struct Impl;

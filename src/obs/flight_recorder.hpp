@@ -1,0 +1,129 @@
+// Always-on failure forensics: a bounded ring of the most recent
+// TraceEvents, cheap enough to leave attached to every campaign trial
+// (fixed memory, ~O(64KB) per recorder at the default capacity; O(1) per
+// event, no allocation after construction).
+//
+// When a guarantee predicate fails, a trial truncates, or a run aborts,
+// the campaign runner dumps the ring to a JSONL artifact whose first line
+// records the exact re-run command; the remaining lines use the same
+// format as obs::to_jsonl(), so obs::from_jsonl() parses them back.  The
+// campaign executes trials on the stepped engine, whose TraceSink emission
+// order IS arrival order - the ring is therefore the exact suffix of the
+// full stepped-engine replay trace (verified in test_telemetry.cpp).
+//
+// Layering note: header-only with its own inline JSONL writer (matching
+// the obs::to_jsonl() byte format) because cg_harness cannot link cg_obs;
+// tag_name()/trace_kind_name() come from cg_proto/cg_sim, which every
+// consumer already links.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "sim/trace.hpp"
+
+namespace cg::obs {
+
+class FlightRecorder final : public TraceSink {
+ public:
+  /// 2048 events * 24 B/event ~= 48 KB per recorder.
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  void on_event(const TraceEvent& ev) override {
+    ring_[head_] = ev;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size())
+      ++size_;
+    else
+      ++dropped_;
+  }
+
+  /// Forget recorded events (capacity retained) - call between trials.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const { return size_; }
+  /// Events that fell off the front of the ring.
+  std::int64_t dropped() const { return dropped_; }
+
+  /// Recorded events, oldest first (arrival order).
+  void snapshot(std::vector<TraceEvent>& out) const {
+    out.clear();
+    out.reserve(size_);
+    const std::size_t start =
+        size_ < ring_.size() ? 0 : head_;  // oldest retained event
+    for (std::size_t i = 0; i < size_; ++i)
+      out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+
+  /// Context for dump_jsonl()'s header line.
+  struct DumpInfo {
+    std::string_view rerun;     ///< exact command line reproducing the trial
+    std::string_view scenario;  ///< fault-scenario name ("" outside campaigns)
+    std::string_view entry;     ///< campaign entry label ("" outside campaigns)
+    int trial = 0;
+    std::uint64_t seed = 0;
+    bool truncated_run = false;  ///< trial hit max_steps
+  };
+
+  /// Write the artifact: one header object line, then one obs::to_jsonl()-
+  /// format line per recorded event in arrival order.  Returns false if
+  /// the file could not be written.
+  bool dump_jsonl(const std::string& path, const DumpInfo& info) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    std::fprintf(f,
+                 "{\"flight_recorder\":1,\"scenario\":\"%s\","
+                 "\"entry\":\"%s\",\"trial\":%d,\"seed\":%llu,"
+                 "\"capacity\":%zu,\"recorded\":%zu,\"dropped\":%lld,"
+                 "\"truncated_run\":%s,\"rerun\":\"%s\"}\n",
+                 escaped(info.scenario).c_str(), escaped(info.entry).c_str(),
+                 info.trial, static_cast<unsigned long long>(info.seed),
+                 ring_.size(), size_, static_cast<long long>(dropped_),
+                 info.truncated_run ? "true" : "false",
+                 escaped(info.rerun).c_str());
+    const std::size_t start = size_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const TraceEvent& ev = ring_[(start + i) % ring_.size()];
+      std::fprintf(f,
+                   "{\"step\":%lld,\"kind\":\"%s\",\"node\":%d,"
+                   "\"peer\":%d,\"tag\":\"%s\"}\n",
+                   static_cast<long long>(ev.step), trace_kind_name(ev.kind),
+                   static_cast<int>(ev.node), static_cast<int>(ev.peer),
+                   tag_name(ev.tag));
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  static std::string escaped(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace cg::obs

@@ -174,6 +174,21 @@ void write_json(JsonWriter& w, const CampaignResult& result) {
     w.end_object();
   }
   w.end_array();
+  if (!result.artifacts.empty()) {
+    w.key("artifacts");
+    w.begin_array();
+    for (const auto& art : result.artifacts) {
+      w.begin_object();
+      w.kv("scenario", art.scenario);
+      w.kv("entry", art.entry);
+      w.kv("trial", art.trial);
+      w.kv("seed", static_cast<std::int64_t>(art.seed));
+      w.kv("path", art.path);
+      w.kv("truncated_run", art.truncated_run);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 

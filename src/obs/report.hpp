@@ -7,6 +7,7 @@
 
 #include "harness/campaign.hpp"
 #include "harness/experiment.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/core/profile.hpp"
 #include "sim/metrics.hpp"
 
@@ -19,8 +20,12 @@ std::string to_json(const TrialAggregate& agg);
 std::string to_json(const EngineProfile& prof);
 /// Reliability report: one record per campaign cell with the scenario,
 /// entry, claimed guarantee, pass/fail and the full aggregate (including
-/// work_retrans, the price of the hardening).
+/// work_retrans, the price of the hardening), plus the flight-recorder
+/// artifact index when forensics were enabled.
 std::string to_json(const CampaignResult& result);
+/// Telemetry registry: counters plus each histogram as count / mean /
+/// quantile bounds / non-empty `[bucket_lo, count]` pairs.
+std::string to_json(const Telemetry& t);
 
 // Streaming variants for embedding into a larger document (cgsim's
 // --report-json wraps the aggregate with the run configuration).
@@ -28,5 +33,7 @@ void write_json(JsonWriter& w, const RunMetrics& m);
 void write_json(JsonWriter& w, const TrialAggregate& agg);
 void write_json(JsonWriter& w, const EngineProfile& prof);
 void write_json(JsonWriter& w, const CampaignResult& result);
+void write_json(JsonWriter& w, const Telemetry& t);
+void write_json(JsonWriter& w, const LogHistogram& h);
 
 }  // namespace cg::obs

@@ -1,0 +1,123 @@
+// Deterministic bottom-k trace sampling: a bounded, representative sample
+// of a run's trace whose BYTES are identical across engines and
+// shard/thread counts.
+//
+// Plain reservoir sampling (Vitter's R) depends on arrival order, which
+// differs between engines within a step.  Instead each event gets a
+// priority h = mix(seed, event fields) and the sink keeps the k events
+// with the smallest (h, canonical key) - a pure function of the event
+// MULTISET, which the engine parity suite guarantees identical.  Ties on
+// the full tuple are exact duplicates, and "keep the k smallest of a
+// multiset" is order-independent, so the retained sample is too.  Each
+// distinct event's priority is an independent uniform draw seeded by the
+// run seed, so the sample is a uniform random subset of the distinct
+// trace events, not biased toward any phase or step range.
+//
+// Memory: k entries (~32 B each) + O(1); per event one 4-round mix and a
+// compare against the heap root, O(log k) only on the (rare) replacement.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace cg::obs {
+
+class SamplingTraceSink final : public TraceSink {
+ public:
+  /// `seed` should be the run seed (RunConfig::seed) so the sample is
+  /// reproducible from the run's command line alone.
+  explicit SamplingTraceSink(std::uint64_t seed, std::size_t k = 4096)
+      : seed_(seed), k_(k) {
+    heap_.reserve(k_);
+  }
+
+  /// Stable, documented event priority (splitmix64 finalizer rounds over
+  /// the event fields).  Exposed so tests can pin the mixing function.
+  static std::uint64_t priority(std::uint64_t seed, const TraceEvent& ev) {
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix(seed ^ 0x736d706c2d73696bULL);  // "smpl-sik"
+    h = mix(h ^ static_cast<std::uint64_t>(ev.step));
+    h = mix(h ^
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.node)) |
+             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.peer))
+              << 32)));
+    h = mix(h ^ (static_cast<std::uint64_t>(ev.kind) |
+                 (static_cast<std::uint64_t>(ev.tag) << 8)));
+    return h;
+  }
+
+  void on_event(const TraceEvent& ev) override {
+    ++seen_;
+    if (k_ == 0) return;
+    const Entry e{priority(seed_, ev), ev};
+    if (heap_.size() < k_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), entry_less);
+      return;
+    }
+    if (!entry_less(e, heap_.front())) return;  // >= k-th smallest: drop
+    std::pop_heap(heap_.begin(), heap_.end(), entry_less);
+    heap_.back() = e;
+    std::push_heap(heap_.begin(), heap_.end(), entry_less);
+  }
+
+  /// Retained events in canonical trace order (step, kind, node, peer,
+  /// tag) - byte-stable regardless of arrival order.
+  std::vector<TraceEvent> sample() const {
+    std::vector<TraceEvent> out;
+    out.reserve(heap_.size());
+    for (const auto& e : heap_) out.push_back(e.ev);
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return key(a) < key(b);
+              });
+    return out;
+  }
+
+  std::int64_t seen() const { return seen_; }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return k_; }
+  std::uint64_t seed() const { return seed_; }
+
+  void clear() {
+    heap_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t h;
+    TraceEvent ev;
+  };
+
+  static std::tuple<Step, int, NodeId, NodeId, int> key(const TraceEvent& ev) {
+    return {ev.step, static_cast<int>(ev.kind), ev.node, ev.peer,
+            static_cast<int>(ev.tag)};
+  }
+
+  /// Strict total order on entries: priority first, canonical event key
+  /// breaks priority collisions so the retained set is well-defined.
+  /// std::push_heap builds a MAX-heap under this order, leaving the
+  /// largest retained entry (the current k-th smallest) at the root.
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.h != b.h) return a.h < b.h;
+    return key(a.ev) < key(b.ev);
+  }
+
+  std::uint64_t seed_;
+  std::size_t k_;
+  std::vector<Entry> heap_;  ///< max-heap under entry_less
+  std::int64_t seen_ = 0;
+};
+
+}  // namespace cg::obs

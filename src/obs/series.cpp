@@ -22,14 +22,29 @@ void StepSeries::ensure_step(Step s) {
   new_ring_senders_.resize(need, 0);
 }
 
+void StepSeries::set_stride(Step k) {
+  CG_CHECK_MSG(k >= 1, "series stride must be >= 1");
+  CG_CHECK_MSG(newly_colored_.empty(), "set_stride() before recording");
+  stride_ = k;
+}
+
+void StepSeries::clear() {
+  const Step stride = stride_;
+  const bool track_ring = track_ring_;
+  *this = StepSeries{};
+  stride_ = stride;
+  track_ring_ = track_ring;
+}
+
 void StepSeries::on_event(const TraceEvent& ev) {
-  ensure_step(ev.step);
-  const auto s = static_cast<std::size_t>(ev.step);
+  const Step bucket = stride_ > 1 ? ev.step / stride_ : ev.step;
+  ensure_step(bucket);
+  const auto s = static_cast<std::size_t>(bucket);
   switch (ev.kind) {
     case TraceEvent::Kind::kSend: {
       ++sends_total_[s];
       ++sends_by_phase_[static_cast<int>(phase_of(ev.tag))][s];
-      if (is_ring_corr(ev.tag) || ev.tag == Tag::kOcgCorr) {
+      if (track_ring_ && (is_ring_corr(ev.tag) || ev.tag == Tag::kOcgCorr)) {
         const auto node = static_cast<std::size_t>(ev.node);
         if (ring_seen_.size() <= node) ring_seen_.resize(node + 1, 0);
         if (ring_seen_[node] == 0) {
@@ -90,7 +105,8 @@ std::string StepSeries::to_csv() const {
     const int n = std::snprintf(
         buf, sizeof(buf),
         "%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
-        static_cast<long long>(s), static_cast<long long>(colored[s]),
+        static_cast<long long>(static_cast<Step>(s) * stride_),
+        static_cast<long long>(colored[s]),
         static_cast<long long>(newly_colored_[s]),
         static_cast<long long>(sends_total_[s]),
         static_cast<long long>(sends_by_phase_[0][s]),
@@ -120,6 +136,7 @@ std::string StepSeries::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.kv("steps", static_cast<std::int64_t>(steps()));
+  w.kv("stride", static_cast<std::int64_t>(stride_));
   write_series(w, "colored", colored_cumulative());
   write_series(w, "newly_colored", newly_colored_);
   w.key("sends");

@@ -33,9 +33,24 @@ namespace cg::obs {
 class StepSeries final : public TraceSink {
  public:
   void on_event(const TraceEvent& ev) override;
-  void clear() { *this = StepSeries{}; }
+  /// Drop recorded data; keeps the stride / track-ring configuration.
+  void clear();
 
-  /// Number of recorded steps (highest event step + 1).
+  /// Decimation for big runs: fold every `k` consecutive steps into one
+  /// bucket (the CSV/JSON `step` column becomes the bucket's first step).
+  /// Totals and cumulative curves are invariant under any stride; only the
+  /// time resolution drops.  compare_to_model() requires stride 1.  Must
+  /// be called before recording.
+  void set_stride(Step k);
+  Step stride() const { return stride_; }
+
+  /// The ring-watermark series is the sink's only O(n)-memory part (one
+  /// byte per node).  Disable it for aggregate-only million-node series;
+  /// ring_watermark() then reads all zeros.
+  void set_track_ring(bool on) { track_ring_ = on; }
+  bool track_ring() const { return track_ring_; }
+
+  /// Number of recorded buckets (highest event step / stride + 1).
   Step steps() const { return static_cast<Step>(newly_colored_.size()); }
 
   // Cumulative / per-step series, each of size steps().
@@ -67,6 +82,8 @@ class StepSeries final : public TraceSink {
   std::vector<std::int64_t> lost_;
   std::vector<std::int64_t> new_ring_senders_;
   std::vector<std::uint8_t> ring_seen_;  // indexed by node id
+  Step stride_ = 1;
+  bool track_ring_ = true;
 };
 
 /// Result of overlaying an observed coloring curve on the analytic c(t).

@@ -1,0 +1,54 @@
+// JSON surface of the telemetry registry (the registry itself is
+// header-only in obs/telemetry.hpp - see the layering note there) and a
+// human-readable histogram table for cgsim --histograms.
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+
+namespace cg::obs {
+
+void write_json(JsonWriter& w, const LogHistogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.quantile(0.50));
+  w.kv("p90", h.quantile(0.90));
+  w.kv("p99", h.quantile(0.99));
+  w.kv("max", h.max_bound());
+  w.key("buckets");
+  w.begin_array();
+  for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+    if (h.bucket_count(b) == 0) continue;
+    w.begin_array();
+    w.value(LogHistogram::bucket_lo(b));
+    w.value(h.bucket_count(b));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const Telemetry& t) {
+  const TelemetryCell& m = t.merged();
+  w.begin_object();
+  w.kv("runs", t.runs());
+  w.kv("colorings", m.colorings);
+  w.kv("deliveries", m.deliveries);
+  w.key("coloring_latency");
+  write_json(w, m.coloring_latency);
+  w.key("inbox_depth");
+  write_json(w, m.inbox_depth);
+  w.key("window_boundary");
+  write_json(w, m.window_boundary);
+  w.key("retransmits");
+  write_json(w, t.retransmits());
+  w.end_object();
+}
+
+std::string to_json(const Telemetry& t) {
+  JsonWriter w;
+  write_json(w, t);
+  return w.str();
+}
+
+}  // namespace cg::obs

@@ -142,104 +142,183 @@ const char* phase_cname(Phase p) {
 
 }  // namespace
 
-ChromeTraceSink::ChromeTraceSink(const std::string& path, double us_per_step)
-    : path_(path), us_per_step_(us_per_step) {}
+namespace {
+
+/// One standalone trace-event object (the body of one traceEvents entry).
+void append_trace_event(JsonWriter& w, const TraceEvent& ev,
+                        double us_per_step) {
+  const double ts = static_cast<double>(ev.step) * us_per_step;
+  w.begin_object();
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::int64_t>(ev.node));
+  w.kv("ts", ts);
+  switch (ev.kind) {
+    case TraceEvent::Kind::kSend:
+    case TraceEvent::Kind::kDeliver: {
+      const Phase phase = phase_of(ev.tag);
+      std::string name = ev.kind == TraceEvent::Kind::kSend ? "send " : "recv ";
+      name += tag_name(ev.tag);
+      w.kv("ph", "X");  // complete event: one slice of one step (= O)
+      w.kv("dur", us_per_step);
+      w.kv("name", name);
+      w.kv("cat", phase_name(phase));
+      w.kv("cname", phase_cname(phase));
+      w.key("args");
+      w.begin_object();
+      w.kv(ev.kind == TraceEvent::Kind::kSend ? "to" : "from",
+           static_cast<std::int64_t>(ev.peer));
+      w.end_object();
+      break;
+    }
+    default: {
+      w.kv("ph", "i");  // instant event
+      w.kv("s", "t");
+      w.kv("name", trace_kind_name(ev.kind));
+      w.kv("cat", ev.kind == TraceEvent::Kind::kLost ? "fault" : "lifecycle");
+      if (ev.kind == TraceEvent::Kind::kFail ||
+          ev.kind == TraceEvent::Kind::kLost)
+        w.kv("cname", "terrible");
+      else if (ev.kind == TraceEvent::Kind::kRestart)
+        w.kv("cname", "good");
+      break;
+    }
+  }
+  w.end_object();
+}
+
+/// Per-node track metadata (name + sort order) for one node.
+void append_track_metadata(JsonWriter& w, NodeId i) {
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("name", "thread_name");
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::int64_t>(i));
+  w.key("args");
+  w.begin_object();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "node %d", i);
+  w.kv("name", buf);
+  w.end_object();
+  w.end_object();
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("name", "thread_sort_index");
+  w.kv("pid", 0);
+  w.kv("tid", static_cast<std::int64_t>(i));
+  w.key("args");
+  w.begin_object();
+  w.kv("sort_index", static_cast<std::int64_t>(i));
+  w.end_object();
+  w.end_object();
+}
+
+/// Track metadata balloons with node count; past this many tracks the
+/// labels would dominate the file, so viewers get numeric tids instead.
+constexpr NodeId kMaxLabeledTracks = 65536;
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path, double us_per_step,
+                                 std::size_t flush_threshold,
+                                 std::int64_t max_events)
+    : path_(path),
+      us_per_step_(us_per_step),
+      flush_threshold_(flush_threshold > 0 ? flush_threshold : 1),
+      max_events_(max_events) {
+  buf_.reserve(std::min<std::size_t>(flush_threshold_, 1 << 16));
+}
 
 ChromeTraceSink::~ChromeTraceSink() { close(); }
 
-bool ChromeTraceSink::close() {
-  if (closed_) return true;
-  closed_ = true;
-  canonical_sort(events_);
+void ChromeTraceSink::write(std::string_view s) {
+  if (f_ == nullptr) return;
+  if (std::fwrite(s.data(), 1, s.size(), f_) != s.size()) ok_ = false;
+}
 
-  JsonWriter w;
-  w.begin_object();
-  w.kv("displayTimeUnit", "ms");
-  w.key("otherData");
-  w.begin_object();
-  w.kv("generator", "corrected-gossip ChromeTraceSink");
-  w.kv("us_per_step", us_per_step_);
-  w.end_object();
-  w.key("traceEvents");
-  w.begin_array();
-
-  // Track metadata: name each node's track and keep ring order top-down.
-  NodeId max_node = -1;
-  for (const auto& ev : events_) max_node = std::max(max_node, ev.node);
-  for (NodeId i = 0; i <= max_node; ++i) {
-    w.begin_object();
-    w.kv("ph", "M");
-    w.kv("name", "thread_name");
-    w.kv("pid", 0);
-    w.kv("tid", static_cast<std::int64_t>(i));
-    w.key("args");
-    w.begin_object();
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "node %d", i);
-    w.kv("name", buf);
-    w.end_object();
-    w.end_object();
-    w.begin_object();
-    w.kv("ph", "M");
-    w.kv("name", "thread_sort_index");
-    w.kv("pid", 0);
-    w.kv("tid", static_cast<std::int64_t>(i));
-    w.key("args");
-    w.begin_object();
-    w.kv("sort_index", static_cast<std::int64_t>(i));
-    w.end_object();
-    w.end_object();
-  }
-
-  for (const auto& ev : events_) {
-    const double ts = static_cast<double>(ev.step) * us_per_step_;
-    w.begin_object();
-    w.kv("pid", 0);
-    w.kv("tid", static_cast<std::int64_t>(ev.node));
-    w.kv("ts", ts);
-    switch (ev.kind) {
-      case TraceEvent::Kind::kSend:
-      case TraceEvent::Kind::kDeliver: {
-        const Phase phase = phase_of(ev.tag);
-        std::string name = ev.kind == TraceEvent::Kind::kSend ? "send " : "recv ";
-        name += tag_name(ev.tag);
-        w.kv("ph", "X");  // complete event: one slice of one step (= O)
-        w.kv("dur", us_per_step_);
-        w.kv("name", name);
-        w.kv("cat", phase_name(phase));
-        w.kv("cname", phase_cname(phase));
-        w.key("args");
-        w.begin_object();
-        w.kv(ev.kind == TraceEvent::Kind::kSend ? "to" : "from",
-             static_cast<std::int64_t>(ev.peer));
-        w.end_object();
-        break;
-      }
-      default: {
-        w.kv("ph", "i");  // instant event
-        w.kv("s", "t");
-        w.kv("name", trace_kind_name(ev.kind));
-        w.kv("cat", ev.kind == TraceEvent::Kind::kLost ? "fault" : "lifecycle");
-        if (ev.kind == TraceEvent::Kind::kFail ||
-            ev.kind == TraceEvent::Kind::kLost)
-          w.kv("cname", "terrible");
-        else if (ev.kind == TraceEvent::Kind::kRestart)
-          w.kv("cname", "good");
-        break;
-      }
+void ChromeTraceSink::flush_chunk() {
+  if (!opened_) {
+    opened_ = true;
+    f_ = std::fopen(path_.c_str(), "w");
+    if (f_ == nullptr) {
+      ok_ = false;
+    } else {
+      JsonWriter meta;
+      meta.begin_object();
+      meta.kv("generator", "corrected-gossip ChromeTraceSink");
+      meta.kv("us_per_step", us_per_step_);
+      meta.end_object();
+      std::string prologue = "{\"displayTimeUnit\":\"ms\",\"otherData\":";
+      prologue += meta.str();
+      prologue += ",\"traceEvents\":[";
+      write(prologue);
     }
-    w.end_object();
   }
-  w.end_array();
-  w.end_object();
+  canonical_sort(buf_);
+  std::string chunk;
+  chunk.reserve(buf_.size() * 96);
+  for (const auto& ev : buf_) {
+    max_node_ = std::max(max_node_, ev.node);
+    if (!first_event_) chunk += ',';
+    first_event_ = false;
+    JsonWriter w;
+    append_trace_event(w, ev, us_per_step_);
+    chunk += w.str();
+  }
+  write(chunk);
+  emitted_ += static_cast<std::int64_t>(buf_.size());
+  buf_.clear();  // capacity retained for the next chunk
+}
 
-  events_.clear();
-  events_.shrink_to_fit();
-  std::FILE* f = std::fopen(path_.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string& json = w.str();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  return std::fclose(f) == 0 && ok;
+bool ChromeTraceSink::close() {
+  if (closed_) return ok_;
+  closed_ = true;
+  flush_chunk();  // tail (and prologue, if nothing ever flushed)
+  std::string epilogue;
+  if (max_node_ >= 0 && max_node_ < kMaxLabeledTracks) {
+    // Metadata events are position-independent; emitting them last keeps
+    // the streaming path single-pass.
+    JsonWriter w;
+    w.begin_array();
+    for (NodeId i = 0; i <= max_node_; ++i) append_track_metadata(w, i);
+    w.end_array();
+    const std::string& arr = w.str();
+    if (arr.size() > 2) {  // strip the [ ] around the comma-joined objects
+      if (!first_event_) epilogue += ',';
+      first_event_ = false;
+      epilogue.append(arr, 1, arr.size() - 2);
+    }
+  }
+  if (dropped_ > 0) {
+    // Truncation marker: the file is a prefix, not the whole run.
+    JsonWriter w;
+    w.begin_object();
+    w.kv("ph", "i");
+    w.kv("s", "g");
+    w.kv("pid", 0);
+    w.kv("tid", 0);
+    w.kv("ts", 0.0);
+    w.kv("name", "trace_truncated");
+    w.kv("cat", "meta");
+    w.kv("cname", "terrible");
+    w.key("args");
+    w.begin_object();
+    w.kv("dropped_events", dropped_);
+    w.kv("max_events", max_events_);
+    w.end_object();
+    w.end_object();
+    if (!first_event_) epilogue += ',';
+    first_event_ = false;
+    epilogue += w.str();
+  }
+  epilogue += "]}";
+  write(epilogue);
+  if (f_ != nullptr) {
+    if (std::fclose(f_) != 0) ok_ = false;
+    f_ = nullptr;
+  } else {
+    ok_ = false;  // never managed to open the output
+  }
+  return ok_;
 }
 
 }  // namespace cg::obs

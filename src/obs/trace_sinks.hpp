@@ -87,30 +87,71 @@ class JsonlTraceSink final : public TraceSink {
   std::FILE* f_ = nullptr;
 };
 
-/// Buffers the run's events and writes Chrome trace-event JSON on close().
+/// Streams Chrome trace-event JSON ("chrome://tracing" / Perfetto) with
+/// bounded memory: events buffer up to `flush_threshold`, are sorted
+/// canonically chunk-locally (both viewers re-sort by ts on load, so
+/// chunk-local order only serves byte-stable output for equal event
+/// multisets), and stream to disk.  A big run therefore never holds more
+/// than one chunk in memory - the old buffer-everything design ran out of
+/// memory on n >= 65536 full traces.
 ///
 /// Layout: one thread ("track") per node under a single process; sends and
 /// deliveries are duration slices of one step (the LogP overhead O) colored
 /// by phase; colorings / deliveries / completions / crashes are instant
 /// events.  `us_per_step` scales simulated steps to trace microseconds
 /// (pass LogP::o_us to get real simulated time).
+///
+/// `max_events > 0` hard-caps the file: further events are counted, not
+/// written, and close() appends a `trace_truncated` instant event carrying
+/// the dropped count.  Per-node track metadata is emitted only for traces
+/// whose max node id stays below 65536 (at 1M nodes the labels alone would
+/// dwarf the trace; viewers fall back to numeric tids).
 class ChromeTraceSink final : public TraceSink {
  public:
-  explicit ChromeTraceSink(const std::string& path, double us_per_step = 1.0);
+  static constexpr std::size_t kDefaultFlushThreshold = 65536;
+
+  explicit ChromeTraceSink(const std::string& path, double us_per_step = 1.0,
+                           std::size_t flush_threshold = kDefaultFlushThreshold,
+                           std::int64_t max_events = 0);
   ~ChromeTraceSink() override;
   ChromeTraceSink(const ChromeTraceSink&) = delete;
   ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
 
-  void on_event(const TraceEvent& ev) override { events_.push_back(ev); }
-  /// Sort canonically, write the JSON file, release the buffer.  Returns
-  /// false if the file could not be written.  Idempotent.
+  void on_event(const TraceEvent& ev) override {
+    if (max_events_ > 0 &&
+        emitted_ + static_cast<std::int64_t>(buf_.size()) >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    buf_.push_back(ev);
+    if (buf_.size() >= flush_threshold_) flush_chunk();
+  }
+
+  /// Flush the tail, append track metadata + truncation marker, close the
+  /// file.  Returns false if any write failed.  Idempotent.
   bool close();
 
+  std::int64_t emitted() const { return emitted_; }
+  /// Events beyond max_events (recorded in the truncation marker).
+  std::int64_t dropped() const { return dropped_; }
+
  private:
+  void flush_chunk();          ///< sort + stream the buffer, lazily opening
+  void write(std::string_view s);
+
   std::string path_;
   double us_per_step_;
-  std::vector<TraceEvent> events_;
+  std::size_t flush_threshold_;
+  std::int64_t max_events_;
+  std::vector<TraceEvent> buf_;
+  std::FILE* f_ = nullptr;
+  bool opened_ = false;
+  bool first_event_ = true;    ///< comma bookkeeping inside traceEvents[]
+  bool ok_ = true;
   bool closed_ = false;
+  NodeId max_node_ = -1;
+  std::int64_t emitted_ = 0;
+  std::int64_t dropped_ = 0;
 };
 
 /// O(1)-memory counters: events by kind, sends by tag and by phase.

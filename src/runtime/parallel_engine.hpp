@@ -54,6 +54,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/sync_barrier.hpp"
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/inbox.hpp"
@@ -88,9 +89,12 @@ class ParallelEngine {
     }
     void ctx_activate(NodeId i) { eng->do_activate(worker, i); }
     void ctx_mark_colored(NodeId i) {
-      if (eng->store_.mark_colored(i, eng->step_))
+      if (eng->store_.mark_colored(i, eng->step_)) {
         eng->trace(worker, {eng->step_, TraceEvent::Kind::kColored, i, kNoNode,
                             Tag::kGossip});
+        if (eng->cfg_.telemetry != nullptr)
+          eng->cfg_.telemetry->record_colored(worker, eng->step_);
+      }
     }
     void ctx_deliver(NodeId i) {
       if (eng->store_.mark_delivered(i, eng->step_))
@@ -245,6 +249,10 @@ class ParallelEngine {
     do_activate(w, to);
     if (cfg_.trace != nullptr)
       trace(w, {step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    // Cell = worker; node `to` is owned by w, so the telemetry stamp/pend
+    // arrays see each node from exactly one thread.
+    if (cfg_.telemetry != nullptr)
+      cfg_.telemetry->record_delivery(w, to, step_);
     if (cfg_.profile != nullptr)
       ++workers_[static_cast<std::size_t>(w)].prof_receive;
     WorkerView view{this, w};
@@ -334,6 +342,7 @@ RunMetrics ParallelEngine<Node>::run() {
 
   EngineProfile* prof = cfg_.profile;
   if (prof != nullptr) *prof = EngineProfile{};
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->attach(cfg_.n, threads_);
   const auto prof_run0 = ProfileClock::now();
 
   store_.activate(cfg_.root, 0);
@@ -368,6 +377,8 @@ RunMetrics ParallelEngine<Node>::run() {
     }
     flush_traces();
     ++step_;
+    if (cfg_.heartbeat != nullptr)  // single-threaded: barrier completion
+      cfg_.heartbeat->beat(step_, max_steps, 0);
     // Pending revivals are outstanding work (the other engines reach every
     // scheduled restart before terminating; see sim/engine.hpp).
     if ((active_count_ == 0 && in_flight_ == 0 && pending_restarts_ == 0) ||
@@ -492,6 +503,7 @@ RunMetrics ParallelEngine<Node>::run() {
   }
   for (const auto& ws : workers_) ws.counts.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_, cfg_.record_node_detail);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->finish_run(metrics_);
   return metrics_;
 }
 

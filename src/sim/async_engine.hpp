@@ -43,6 +43,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/inbox.hpp"
 #include "sim/core/network_model.hpp"
@@ -82,8 +83,11 @@ class AsyncEngine {
   }
   void ctx_activate(NodeId i) { do_activate(i); }
   void ctx_mark_colored(NodeId i) {
-    if (store_.mark_colored(i, step_now()))
+    if (store_.mark_colored(i, step_now())) {
       trace({step_now(), TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
+      if (cfg_.telemetry != nullptr)
+        cfg_.telemetry->record_colored(0, step_now());
+    }
   }
   void ctx_deliver(NodeId i) {
     if (store_.mark_delivered(i, step_now()))
@@ -197,6 +201,8 @@ class AsyncEngine {
     do_activate(to);
     if (cfg_.trace != nullptr)
       trace({step_now(), TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    if (cfg_.telemetry != nullptr)
+      cfg_.telemetry->record_delivery(0, to, step_now());
     if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_receive;
     Ctx ctx(*this, to);
     nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
@@ -369,6 +375,7 @@ RunMetrics AsyncEngine<Node>::run() {
 
   EngineProfile* prof = cfg_.profile;
   if (prof != nullptr) *prof = EngineProfile{};
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->attach(cfg_.n, 1);
   const auto prof_run0 = ProfileClock::now();
 
   // Root is active from step 0; everyone alive gets on_start.
@@ -391,6 +398,7 @@ RunMetrics AsyncEngine<Node>::run() {
     return q_.pending() > static_cast<std::size_t>(pending_online_kills_);
   };
   if (prof != nullptr) {
+    std::int64_t hb_ctr = 0;
     while (work_pending()) {
       // Attribute each handler's wall time to the internal phase it fired
       // in: delivery sweeps / rx pops -> deliver, ticks -> tick.
@@ -405,14 +413,19 @@ RunMetrics AsyncEngine<Node>::run() {
         metrics_.hit_max_steps = true;
         break;
       }
+      if (cfg_.heartbeat != nullptr && ((++hb_ctr & 8191) == 0))
+        cfg_.heartbeat->beat(step_now(), max_steps, 0);
     }
   } else {
+    std::int64_t hb_ctr = 0;  // clock reads per event would be too hot
     while (work_pending()) {
       q_.run_one();
       if (step_now() >= max_steps) {
         metrics_.hit_max_steps = true;
         break;
       }
+      if (cfg_.heartbeat != nullptr && ((++hb_ctr & 8191) == 0))
+        cfg_.heartbeat->beat(step_now(), max_steps, 0);
     }
   }
   // Cancel unreached crash events so the kernel ledger balances (ids of
@@ -448,6 +461,7 @@ RunMetrics AsyncEngine<Node>::run() {
   }
   counts_.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_now(), cfg_.record_node_detail);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->finish_run(metrics_);
   return metrics_;
 }
 

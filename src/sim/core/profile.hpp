@@ -19,10 +19,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "common/types.hpp"
@@ -45,6 +47,24 @@ inline std::int64_t current_peak_rss_bytes() {
 #else
   return 0;
 #endif
+}
+
+/// Current (not peak) resident set size in bytes, via /proc/self/statm on
+/// Linux; falls back to the peak elsewhere.  The heartbeat channel reports
+/// it so a long campaign's live memory footprint is visible, not just the
+/// whole-process high-water mark.
+inline std::int64_t current_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long long pages_total = 0, pages_resident = 0;
+    const int got = std::fscanf(f, "%lld %lld", &pages_total, &pages_resident);
+    std::fclose(f);
+    if (got == 2)
+      return static_cast<std::int64_t>(pages_resident) *
+             static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+  }
+#endif
+  return current_peak_rss_bytes();
 }
 
 struct EngineProfile {

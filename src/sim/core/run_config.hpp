@@ -18,6 +18,9 @@
 
 namespace cg {
 
+class Telemetry;  // obs/telemetry.hpp - per-shard counters/histograms
+class Heartbeat;  // obs/telemetry.hpp - periodic progress JSON
+
 /// How receive overhead is modeled (DESIGN.md Section 2).
 enum class RxPolicy : std::uint8_t {
   kDrainAll,    ///< all pending messages processed in their arrival step
@@ -38,6 +41,15 @@ struct RunConfig {
   /// Engine self-profiling: when set, the engine fills callback counts and
   /// per-phase wall times (see sim/core/profile.hpp).  Not owned.
   EngineProfile* profile = nullptr;
+  /// Scale-ready telemetry: when set, the engine records per-shard
+  /// counters and log-scale histograms (coloring latency, inbox depth,
+  /// boundary traffic) into it - O(1) per event, allocation-free in steady
+  /// state, deterministic across engines (see obs/telemetry.hpp).  Not
+  /// owned.
+  Telemetry* telemetry = nullptr;
+  /// Progress channel: when set, the engine emits single-line JSON
+  /// progress (steps done / max) on the heartbeat's interval.  Not owned.
+  Heartbeat* heartbeat = nullptr;
   /// Model extension beyond the paper: add a uniform random extra delay of
   /// 0..jitter_max steps to every message (network variance).  Protocols'
   /// phase boundaries still use the synchronized clock; the ablation bench

@@ -38,6 +38,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/telemetry.hpp"
 #include "proto/message.hpp"
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/inbox.hpp"
@@ -97,8 +98,10 @@ class Engine {
     if (store_.activate(i, step_)) ++active_count_;
   }
   void ctx_mark_colored(NodeId i) {
-    if (store_.mark_colored(i, step_))
+    if (store_.mark_colored(i, step_)) {
       trace({step_, TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
+      if (cfg_.telemetry != nullptr) cfg_.telemetry->record_colored(0, step_);
+    }
   }
   void ctx_deliver(NodeId i) {
     if (store_.mark_delivered(i, step_))
@@ -210,6 +213,8 @@ void Engine<Node>::dispatch(NodeId to, const Message& m) {
   if (store_.activate(to, step_)) ++active_count_;
   if (cfg_.trace != nullptr)
     trace({step_, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+  if (cfg_.telemetry != nullptr)
+    cfg_.telemetry->record_delivery(0, to, step_);
   if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_receive;
   Ctx ctx(*this, to);
   nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
@@ -282,6 +287,7 @@ RunMetrics Engine<Node>::run_impl() {
 
   EngineProfile* prof = cfg_.profile;
   if (prof != nullptr) *prof = EngineProfile{};
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->attach(cfg_.n, 1);
   const auto prof_run0 = ProfileClock::now();
 
   // Start: root is active; everyone alive gets on_start.  The root counts
@@ -375,6 +381,7 @@ RunMetrics Engine<Node>::run_impl() {
     if (prof != nullptr) prof->tick_s += ProfileClock::seconds_since(prof_phase0);
 
     ++step_;
+    if (cfg_.heartbeat != nullptr) cfg_.heartbeat->beat(step_, max_steps, 0);
   }
 
   if (prof != nullptr) {
@@ -399,6 +406,7 @@ template <class Node>
 RunMetrics Engine<Node>::finalize() {
   counts_.merge_into(metrics_);
   store_.finalize(metrics_, cfg_.root, step_, cfg_.record_node_detail);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->finish_run(metrics_);
   return metrics_;
 }
 

@@ -57,6 +57,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "gossip/timing.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/sync_barrier.hpp"
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/bitset.hpp"
@@ -91,9 +92,12 @@ class ShardedEngine {
     }
     void ctx_activate(NodeId i) { eng->do_activate(shard, i); }
     void ctx_mark_colored(NodeId i) {
-      if (eng->soa_.mark_colored(i, ctx_now()))
+      if (eng->soa_.mark_colored(i, ctx_now())) {
         eng->trace(shard, {ctx_now(), TraceEvent::Kind::kColored, i, kNoNode,
                            Tag::kGossip});
+        if (eng->cfg_.telemetry != nullptr)
+          eng->cfg_.telemetry->record_colored(shard, ctx_now());
+      }
     }
     void ctx_deliver(NodeId i) {
       if (eng->soa_.mark_delivered(i, ctx_now()))
@@ -248,6 +252,10 @@ class ShardedEngine {
     do_activate(shard, to);
     if (cfg_.trace != nullptr)
       trace(shard, {s, TraceEvent::Kind::kDeliver, to, m.src, m.tag});
+    // Cell = shard; node `to` is shard-owned, so the telemetry stamp/pend
+    // arrays see each node from exactly one thread.
+    if (cfg_.telemetry != nullptr)
+      cfg_.telemetry->record_delivery(shard, to, s);
     if (cfg_.profile != nullptr)
       ++shards_[static_cast<std::size_t>(shard)].prof_receive;
     ShardView view{this, shard};
@@ -342,6 +350,7 @@ void ShardedEngine<Node>::run_window(int sidx, Step win_lo, Step win_hi) {
   const bool one_per_step = cfg_.rx == RxPolicy::kOnePerStep;
   const bool profiled = cfg_.profile != nullptr;
   const NodeId local_n = st.hi - st.lo;
+  const std::int64_t boundary0 = st.boundary_msgs;
   bool did_work = false;
 
   for (Step s = win_lo; s < win_hi; ++s) {
@@ -446,6 +455,10 @@ void ShardedEngine<Node>::run_window(int sidx, Step win_lo, Step win_hi) {
     });
   }
   if (!did_work) ++st.window_stalls;
+  // Per-window boundary traffic: a property of THIS shard layout (not part
+  // of the engine-invariant telemetry slice; see obs/telemetry.hpp).
+  if (cfg_.telemetry != nullptr)
+    cfg_.telemetry->record_window_boundary(sidx, st.boundary_msgs - boundary0);
 }
 
 template <class Node>
@@ -512,6 +525,7 @@ RunMetrics ShardedEngine<Node>::run() {
 
   EngineProfile* prof = cfg_.profile;
   if (prof != nullptr) *prof = EngineProfile{};
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->attach(cfg_.n, nshards_);
   const auto prof_run0 = ProfileClock::now();
 
   // Start: single-threaded on_start at step 0; sends land directly in the
@@ -545,6 +559,8 @@ RunMetrics ShardedEngine<Node>::run() {
       window_lo_ = std::min(window_lo_ + window_, max_steps);
       win_parity_ ^= 1;
       ++windows_done_;
+      if (cfg_.heartbeat != nullptr)  // single-threaded: barrier completion
+        cfg_.heartbeat->beat(window_lo_, max_steps, 0);
       if (quiescent()) {
         stop_ = true;
       } else if (window_lo_ >= max_steps) {
@@ -640,6 +656,7 @@ RunMetrics ShardedEngine<Node>::run() {
   }
   for (const auto& st : shards_) st.counts.merge_into(metrics_);
   soa_.finalize(metrics_, cfg_.root, t_end, cfg_.record_node_detail);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->finish_run(metrics_);
   return metrics_;
 }
 
