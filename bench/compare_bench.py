@@ -15,7 +15,7 @@ observed rate is the most stable estimator of achievable throughput there
 Usage:
   bench/compare_bench.py --binary build/bench/micro_engine \
       [--baseline BENCH_engine.json] [--tolerance 0.05] [--reps 2] \
-      [--filter 'BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)'] \
+      [--filter 'BM_(Engine(Serial|Async|Parallel|Sbrb)|EngineSharded/4096|TrialFarm)'] \
       [--overhead BASE:PROBE:FRAC ...]
 
 --overhead compares two benchmarks WITHIN the current run (no baseline
@@ -36,19 +36,24 @@ from pathlib import Path
 
 
 def load_baseline(path: Path) -> dict[str, float]:
-    """Newest entry's per-benchmark after-throughput, in M items/s."""
+    """Per-benchmark after-throughput in M items/s, newest entry winning.
+
+    Entries are merged oldest-to-newest so an entry that re-measures only a
+    subset of benchmarks (or introduces a new one, e.g. BM_EngineSbrb)
+    updates those names without dropping the rest of the baseline.
+    """
     doc = json.loads(path.read_text())
     entries = doc["entries"] if isinstance(doc, dict) else doc
-    for entry in reversed(entries):
-        rates = {}
+    rates: dict[str, float] = {}
+    for entry in entries:
         for row in entry.get("results", []):
             for key in ("after_M_per_s", "after_best_M_per_s"):
                 if key in row:
                     rates[row["name"]] = float(row[key])
                     break
-        if rates:
-            return rates
-    raise SystemExit(f"error: no usable baseline entry in {path}")
+    if not rates:
+        raise SystemExit(f"error: no usable baseline entry in {path}")
+    return rates
 
 
 def run_bench(binary: Path, bench_filter: str) -> dict[str, float]:
@@ -87,7 +92,7 @@ def main() -> int:
                     help="allowed fractional slowdown (default 0.05)")
     ap.add_argument("--reps", type=int, default=2,
                     help="benchmark process invocations; best rate wins")
-    ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel)|EngineSharded/4096|TrialFarm)",
+    ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel|Sbrb)|EngineSharded/4096|TrialFarm)",
                     help="regex passed to --benchmark_filter")
     ap.add_argument("--overhead", action="append", default=[],
                     metavar="BASE:PROBE:FRAC",

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "gossip/ccg.hpp"
 #include "gossip/fcg.hpp"
+#include "gossip/sbrb.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runner.hpp"
 #include "obs/telemetry.hpp"
@@ -130,6 +131,29 @@ BENCHMARK(BM_EngineParallel)
     ->Args({4096, 2})
     ->Args({4096, 4})
     ->Args({4096, 8});
+
+// SBRB (sample-based Byzantine reliable broadcast) through the serial
+// engine, tuned for eps = 1e-4 against a 10% adversary.  Every node runs
+// echo/ready/delivery quorums over its samples, so this is far chattier
+// than CCG by design - the number tracks the cost of the Byzantine
+// defense, not a regression against BM_EngineSerial.
+void BM_EngineSbrb(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  SbrbNode::Params p;
+  p.s = sbrb_samples(n, 1e-4, 0.1);
+  p.deadline = sbrb_deadline(p.s, LogP::piz_daint());
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    Engine<SbrbNode> eng(cfg, p);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSbrb)->Arg(1024)->Arg(4096);
 
 // The window-sharded SoA engine, same CCG workload, at bench scale and at
 // the scales it exists for ({65536, 1M} nodes x {1, 8} shards).  The big

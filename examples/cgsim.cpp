@@ -26,6 +26,11 @@
 //   --stragglers=K        K nodes send at --straggler-factor x delay
 //   --partition=K         K nodes transiently partitioned off
 //   --reliable            ack/retransmit hardening for CCG/FCG correction
+//   --byz=K               K Byzantine nodes per trial (docs/FAULTS.md)
+//   --byz-mode=M          silent|equivocator|corruptor|spammer
+//   --byz-root            force the root into the Byzantine set (root
+//                         equivocation - the canonical consistency attack;
+//                         --algo=sbrb is the defense)
 //
 // Observability outputs (each replays trial #0 with instrumentation):
 //   --trace-out=<file>    event trace; *.jsonl gets one JSON object per
@@ -93,8 +98,10 @@ int main(int argc, char** argv) {
   else if (algo_s == "big") algo = Algo::kBig;
   else if (algo_s == "bfb") algo = Algo::kBfb;
   else if (algo_s == "opt") algo = Algo::kOpt;
+  else if (algo_s == "sbrb") algo = Algo::kSbrb;
   else {
-    std::fprintf(stderr, "unknown --algo=%s (gos|ocg|ccg|fcg|chain|big|bfb|opt)\n",
+    std::fprintf(stderr,
+                 "unknown --algo=%s (gos|ocg|ccg|fcg|chain|big|bfb|opt|sbrb)\n",
                  algo_s.c_str());
     return 2;
   }
@@ -123,6 +130,15 @@ int main(int argc, char** argv) {
   spec.stragglers = static_cast<int>(flags.get_int("stragglers", 0));
   spec.straggler_factor = flags.get_int("straggler-factor", 4);
   spec.partition_nodes = static_cast<int>(flags.get_int("partition", 0));
+  spec.byz_count = static_cast<int>(flags.get_int("byz", 0));
+  spec.byz_include_root = flags.get_bool("byz-root", false);
+  if (spec.byz_include_root && spec.byz_count == 0) spec.byz_count = 1;
+  const std::string byz_mode_s = flags.get_string("byz-mode", "equivocator");
+  if (!byz_mode_from_name(byz_mode_s, spec.byz_mode)) {
+    std::fprintf(stderr, "unknown --byz-mode=%s (%s)\n", byz_mode_s.c_str(),
+                 byz_mode_names_list());
+    return 2;
+  }
   spec.pre_failures = pre;
   spec.online_failures = online;
   spec.rx = flags.get_string("rx", "drain") == "one" ? RxPolicy::kOnePerStep
@@ -303,6 +319,22 @@ int main(int argc, char** argv) {
   table.add_row({"truncated (hit max steps)",
                  Table::cell("%lld",
                              static_cast<long long>(agg.hit_max_steps_trials))});
+  if (spec.byz_count > 0) {
+    table.add_row(
+        {"consistency violations",
+         Table::cell("%lld/%lld",
+                     static_cast<long long>(agg.consistency_violations),
+                     static_cast<long long>(agg.trials))});
+    table.add_row({"forged-delivery trials",
+                   Table::cell("%lld", static_cast<long long>(
+                                           agg.forged_delivery_trials))});
+    table.add_row(
+        {"byz msgs (equiv/forged/suppr)",
+         Table::cell("%lld / %lld / %lld",
+                     static_cast<long long>(agg.msgs_equivocated_total),
+                     static_cast<long long>(agg.msgs_forged_total),
+                     static_cast<long long>(agg.msgs_suppressed_total))});
+  }
   if (flags.get_bool("csv", false))
     std::fputs(table.csv().c_str(), stdout);
   else
@@ -382,6 +414,9 @@ int main(int argc, char** argv) {
       w.kv("stragglers", static_cast<std::int64_t>(spec.stragglers));
       w.kv("partition_nodes",
            static_cast<std::int64_t>(spec.partition_nodes));
+      w.kv("byz_count", static_cast<std::int64_t>(spec.byz_count));
+      w.kv("byz_mode", byz_mode_name(spec.byz_mode));
+      w.kv("byz_include_root", spec.byz_include_root);
       w.kv("reliable", spec.acfg.reliable.enabled);
       w.kv("pre_failures", static_cast<std::int64_t>(spec.pre_failures));
       w.kv("online_failures",

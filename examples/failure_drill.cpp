@@ -8,11 +8,19 @@
 //   ./failure_drill [--n=512] [--threads=0] [--trials=300] [--seed=7]
 //                   [--drop-prob=0] [--burst-loss=0] [--burst-mean=4]
 //                   [--restart=0] [--stragglers=0] [--reliable]
+//                   [--byz=K] [--byz-mode=silent|equivocator|corruptor|spammer]
+//                   [--byz-root]
 //                   [--engine=stepped|async|parallel|sharded] [--shards=K]
 //                   [--heartbeat=SECONDS]
+//
+// With --byz=K the drill adds an SBRB row and a "consistent" column: the
+// crash-model protocols keep their liveness numbers but lose payload
+// consistency under equivocation, while SBRB's sampled echo/ready quorums
+// hold it (docs/FAULTS.md, Byzantine tier).
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
@@ -32,6 +40,16 @@ int main(int argc, char** argv) {
   const int restarts = static_cast<int>(flags.get_int("restart", 0));
   const int stragglers = static_cast<int>(flags.get_int("stragglers", 0));
   const bool reliable = flags.get_bool("reliable", false);
+  int byz_count = static_cast<int>(flags.get_int("byz", 0));
+  const bool byz_root = flags.get_bool("byz-root", false);
+  if (byz_root && byz_count == 0) byz_count = 1;
+  ByzMode byz_mode = ByzMode::kEquivocator;
+  const std::string byz_mode_s = flags.get_string("byz-mode", "equivocator");
+  if (!byz_mode_from_name(byz_mode_s, byz_mode)) {
+    std::fprintf(stderr, "unknown --byz-mode=%s (%s)\n", byz_mode_s.c_str(),
+                 byz_mode_names_list());
+    return 2;
+  }
   ExecConfig exec;
   const std::string engine_s = flags.get_string("engine", "stepped");
   if (!engine_from_name(engine_s, exec.engine)) {
@@ -54,11 +72,17 @@ int main(int argc, char** argv) {
                 "stragglers=%d reliable=%s\n",
                 drop_prob, burst_loss, static_cast<long long>(burst_mean),
                 restarts, stragglers, reliable ? "on" : "off");
+  if (byz_count > 0)
+    std::printf("adversary: %d byzantine (%s)%s\n", byz_count,
+                byz_mode_name(byz_mode), byz_root ? " incl. root" : "");
   std::printf("\n");
 
+  std::vector<Algo> algos = {Algo::kCcg, Algo::kFcg};
+  if (byz_count > 0) algos.push_back(Algo::kSbrb);
   Table table({"algo", "online crashes", "all reached", "all-or-nothing",
-               "SOS runs", "retrans", "truncated", "mean lat[us]"});
-  for (const Algo a : {Algo::kCcg, Algo::kFcg}) {
+               "consistent", "SOS runs", "retrans", "truncated",
+               "mean lat[us]"});
+  for (const Algo a : algos) {
     for (const int crashes : {0, 1, 3}) {
       const TunedAlgo tuned = tune_for(a, n, n, logp, eps, /*f=*/1);
       TrialSpec spec;
@@ -80,6 +104,9 @@ int main(int argc, char** argv) {
       spec.burst_mean = burst_mean;
       spec.restarts = restarts;
       spec.stragglers = stragglers;
+      spec.byz_count = byz_count;
+      spec.byz_mode = byz_mode;
+      spec.byz_include_root = byz_root;
       const TrialAggregate agg = run_trials(spec);
       table.add_row(
           {algo_name(a), Table::cell("%d", crashes),
@@ -92,13 +119,18 @@ int main(int argc, char** argv) {
                                  agg.trials - agg.all_or_nothing_violations),
                              static_cast<long long>(agg.trials))
                : std::string("n/a"),
+           byz_count > 0
+               ? Table::cell("%lld/%lld",
+                             static_cast<long long>(
+                                 agg.trials - agg.consistency_violations),
+                             static_cast<long long>(agg.trials))
+               : std::string("n/a"),
            Table::cell("%lld", static_cast<long long>(agg.sos_trials)),
            Table::cell("%.1f", agg.work_retrans.mean()),
            Table::cell("%lld",
                        static_cast<long long>(agg.hit_max_steps_trials)),
-           Table::cell("%.1f", logp.us(1) * (agg.t_complete.empty()
-                                                 ? 0.0
-                                                 : agg.t_complete.mean()))});
+           Table::cell("%.1f",
+                       logp.us(1) * reported_latency_steps(a, agg))});
     }
   }
   table.print();

@@ -8,9 +8,18 @@
 //   ./fault_campaign [--n=128] [--trials=100] [--seed=21] [--threads=0]
 //                    [--report-json=campaign.json] [--strict]
 //                    [--artifacts-dir=<dir>] [--heartbeat=SECONDS]
+//                    [--byz-grid] [--byz=K] [--byz-mode=MODE] [--byz-root]
 //                    [--replay=scenario/entry/trial] [--replay-out=<file>]
 //
 // --strict makes a failed guarantee cell a non-zero exit (CI gate).
+//
+// Byzantine tier (docs/FAULTS.md): --byz-grid swaps in the adversarial
+// grid - {clean, 5% equivocators, 10% equivocators, root equivocation} x
+// {CCG, FCG, SBRB}, every cell claiming payload consistency.  CCG/FCG are
+// expected to FAIL it (their violation artifacts replay like any other);
+// SBRB must hold.  Alternatively --byz=K --byz-mode=MODE overlays K
+// adversaries of one mode onto every stock scenario.  --replay evaluates
+// the same effective guarantee either way.
 //
 // Failure forensics (docs/OBSERVABILITY.md "Failure forensics"):
 // --artifacts-dir attaches a flight recorder to every trial; each
@@ -93,6 +102,12 @@ int replay_trial(const cg::CampaignConfig& cfg,
       static_cast<long long>(m.msgs_total),
       static_cast<long long>(m.msgs_retrans), m.sos_triggered ? "yes" : "no",
       m.hit_max_steps ? "yes" : "no");
+  if (m.n_byzantine > 0)
+    std::printf(
+        "adversary: %d byzantine, delivered payloads true=%d forged=%d "
+        "distinct=%d, consistent=%s\n",
+        m.n_byzantine, m.n_delivered_true, m.n_delivered_forged,
+        m.distinct_delivered_payloads, m.consistent_delivery ? "yes" : "NO");
   std::printf("guarantee %s: %s\n", guarantee_name(g),
               trial_violates(g, m) ? "VIOLATED" : "holds");
   if (sink) std::printf("trace: %s\n", trace_out.c_str());
@@ -112,13 +127,43 @@ int main(int argc, char** argv) {
   cfg.trials = static_cast<int>(flags.get_int("trials", 100));
   cfg.threads = static_cast<int>(flags.get_int("threads", 0));
 
+  int byz_count = static_cast<int>(flags.get_int("byz", 0));
+  const bool byz_root = flags.get_bool("byz-root", false);
+  if (byz_root && byz_count == 0) byz_count = 1;
+  ByzMode byz_mode = ByzMode::kEquivocator;
+  const std::string byz_mode_s = flags.get_string("byz-mode", "equivocator");
+  if (!byz_mode_from_name(byz_mode_s, byz_mode)) {
+    std::fprintf(stderr, "unknown --byz-mode=%s (%s)\n", byz_mode_s.c_str(),
+                 byz_mode_names_list());
+    return 2;
+  }
+  const bool byz_grid = flags.get_bool("byz-grid", false);
+
   const double eps = 1e-4;
   std::vector<CampaignEntry> entries;
-  for (const Algo a : {Algo::kCcg, Algo::kFcg}) {
-    const TunedAlgo tuned = tune_for(a, cfg.n, cfg.n, cfg.logp, eps, /*f=*/1);
-    for (auto& e : default_entries(a, tuned.acfg)) entries.push_back(e);
+  std::vector<FaultScenario> scenarios;
+  if (byz_grid) {
+    const TunedAlgo ccg = tune_for(Algo::kCcg, cfg.n, cfg.n, cfg.logp, eps, 1);
+    const TunedAlgo fcg = tune_for(Algo::kFcg, cfg.n, cfg.n, cfg.logp, eps, 1);
+    const TunedAlgo sbrb =
+        tune_for(Algo::kSbrb, cfg.n, cfg.n, cfg.logp, eps, 1);
+    entries = byzantine_entries(ccg.acfg, fcg.acfg, sbrb.acfg);
+    scenarios = byzantine_fault_scenarios(cfg.n);
+  } else {
+    for (const Algo a : {Algo::kCcg, Algo::kFcg}) {
+      const TunedAlgo tuned =
+          tune_for(a, cfg.n, cfg.n, cfg.logp, eps, /*f=*/1);
+      for (auto& e : default_entries(a, tuned.acfg)) entries.push_back(e);
+    }
+    scenarios = default_fault_scenarios();
+    if (byz_count > 0) {
+      for (auto& s : scenarios) {
+        s.byz_count = byz_count;
+        s.byz_mode = byz_mode;
+        s.byz_include_root = byz_root;
+      }
+    }
   }
-  const auto scenarios = default_fault_scenarios();
 
   const std::string replay = flags.get_string("replay", "");
   if (!replay.empty())
@@ -134,11 +179,20 @@ int main(int argc, char** argv) {
                    cfg.artifacts_dir.c_str(), ec.message().c_str());
       return 1;
     }
-    char prefix[128];
+    char prefix[192];
     std::snprintf(prefix, sizeof prefix,
                   "./fault_campaign --n=%d --seed=%llu --trials=%d", cfg.n,
                   static_cast<unsigned long long>(cfg.seed), cfg.trials);
     cfg.rerun_prefix = prefix;
+    // The replay command must rebuild the same scenario/entry grid.
+    if (byz_grid) {
+      cfg.rerun_prefix += " --byz-grid";
+    } else if (byz_count > 0) {
+      std::snprintf(prefix, sizeof prefix, " --byz=%d --byz-mode=%s%s",
+                    byz_count, byz_mode_name(byz_mode),
+                    byz_root ? " --byz-root" : "");
+      cfg.rerun_prefix += prefix;
+    }
   }
   std::unique_ptr<Heartbeat> heartbeat;
   if (flags.has("heartbeat"))
@@ -153,7 +207,7 @@ int main(int argc, char** argv) {
   const CampaignResult result = run_campaign(cfg, scenarios, entries);
 
   Table table({"scenario", "entry", "guarantee", "pass", "reached",
-               "aon viol", "SOS", "retrans", "truncated"});
+               "aon viol", "consist viol", "SOS", "retrans", "truncated"});
   for (const auto& cell : result.cells) {
     table.add_row(
         {cell.scenario, cell.entry, guarantee_name(cell.guarantee),
@@ -163,6 +217,8 @@ int main(int argc, char** argv) {
                      static_cast<long long>(cell.agg.trials)),
          Table::cell("%lld",
                      static_cast<long long>(cell.agg.all_or_nothing_violations)),
+         Table::cell("%lld",
+                     static_cast<long long>(cell.agg.consistency_violations)),
          Table::cell("%lld", static_cast<long long>(cell.agg.sos_trials)),
          Table::cell("%.1f", cell.agg.work_retrans.mean()),
          Table::cell("%lld",

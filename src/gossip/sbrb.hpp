@@ -1,0 +1,350 @@
+// SBRB: sample-based Byzantine reliable broadcast (Murmur/Sieve/Contagion).
+//
+// The crash-model protocols in this directory (GOS/OCG/CCG/FCG) trust
+// every message: a single equivocating sender splits them into two
+// payload camps (tests/test_byzantine.cpp demonstrates this).  SBRB is
+// the scalable Byzantine-tolerant counterpart from Guerraoui et al.'s
+// "Scalable Byzantine Reliable Broadcast": instead of quorums over all N
+// nodes, every node draws small random SAMPLES of size O(log N +
+// log 1/eps) and decides from sample-local thresholds, giving consistency
+// and totality with probability >= 1 - eps.  Three stacked layers:
+//
+//   * Murmur (dissemination): colored nodes push the payload to `g`
+//     random peers - plain gossip, whp reaches every correct node;
+//   * Sieve (consistency): each node subscribes to the Echo stream of an
+//     `e`-sample.  A node echoes its FIRST candidate payload to its
+//     subscribers; a candidate is "sieve-delivered" once >= E_hat sample
+//     members echoed that same payload.  E_hat > e/2, so two conflicting
+//     payloads cannot both pass anyone's sieve (whp over sample draws);
+//   * Contagion (totality): sieve-delivery makes a node Ready; Ready
+//     spreads through `r`-sample feedback (>= R_hat Readies make a node
+//     Ready even without sieve-delivery) and a node DELIVERS once
+//     >= D_hat of its `d`-sample is Ready - even a node the gossip never
+//     reached adopts and delivers the sample-winning payload.
+//
+// Signature model (sim/fault/byzantine.hpp): payload digests with
+// kForgedBit fail verification and are dropped on receive, so a
+// non-root Byzantine node degrades to a crash fault here; the undetectable
+// attack is a Byzantine ROOT equivocating between two validly signed
+// payloads, which is exactly what the sample thresholds defend against.
+// Consistency holds always; totality is only promised under a correct
+// root (a splitting root can starve both camps below E_hat - then nobody
+// delivers, which is the consistent outcome).
+//
+// Engine contract: nodes self-activate in on_start and dribble all
+// traffic one message per tick through two FIFO queues (urgent:
+// gossip/echo/ready; bulk: sample subscriptions), so the SendGate's
+// one-emission-per-step invariant holds on every engine.  All sample
+// draws come from the node's own RNG stream in on_start (single-threaded
+// on every engine), keeping runs engine/shard/thread-invariant.
+// Completion is a fixed deadline step - reached whether or not delivery
+// happened - so runs terminate without a global convergence detector.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "proto/message.hpp"
+#include "sim/fault/byzantine.hpp"
+#include "sim/logp.hpp"
+
+namespace cg {
+
+/// Sample sizes and thresholds for one SBRB configuration.  All sizes are
+/// capped at 64 (per-candidate tallies are single uint64 bitmasks) and at
+/// n-1 (samples exclude self).
+struct SbrbSamples {
+  int g = 0;  ///< Murmur gossip fanout
+  int e = 0;  ///< Sieve echo-sample size
+  int r = 0;  ///< Contagion ready-sample size (feedback)
+  int d = 0;  ///< Contagion delivery-sample size
+  int e_thresh = 0;  ///< E_hat: echoes required to sieve-deliver (> e/2)
+  int r_thresh = 0;  ///< R_hat: Readies required to turn Ready by feedback
+  int d_thresh = 0;  ///< D_hat: Readies required to deliver (> d/2)
+};
+
+/// Derive sample sizes from the target failure probability eps and the
+/// assumed Byzantine fraction.  Sizes grow as ln(n) + ln(1/eps) (the
+/// paper's scaling); the consistency-critical thresholds sit a byz_frac
+/// margin above a strict majority of their sample.
+inline SbrbSamples sbrb_samples(NodeId n, double eps, double byz_frac) {
+  CG_CHECK(n >= 1);
+  CG_CHECK(eps > 0.0 && eps < 1.0);
+  CG_CHECK(byz_frac >= 0.0 && byz_frac < 0.5);
+  SbrbSamples s;
+  const int cap = static_cast<int>(std::min<NodeId>(n - 1, 64));
+  if (cap < 1) return s;  // n == 1: no peers, nothing to sample
+  const double base =
+      std::log(static_cast<double>(n)) + std::log(1.0 / eps);
+  const auto sized = [cap](double v, int lo) {
+    return std::clamp(static_cast<int>(std::ceil(v)), std::min(lo, cap), cap);
+  };
+  s.g = sized(base, 3);
+  s.e = sized(1.5 * base, 4);
+  s.r = sized(1.5 * base, 4);
+  s.d = sized(1.5 * base, 4);
+  const auto margin = [byz_frac](int size) {
+    return static_cast<int>(std::ceil(byz_frac * size));
+  };
+  s.e_thresh = std::min(s.e, s.e / 2 + 1 + margin(s.e));
+  s.r_thresh = std::clamp(static_cast<int>(std::ceil(0.3 * s.r)), 1, s.r);
+  s.d_thresh = std::min(s.d, s.d / 2 + 1 + margin(s.d));
+  return s;
+}
+
+/// Completion deadline: generous bound on subscription dribble + a few
+/// gossip/echo/ready round trips.  Protocol liveness does not depend on
+/// it being tight - only termination does.
+inline Step sbrb_deadline(const SbrbSamples& s, const LogP& p) {
+  return 4 * static_cast<Step>(s.g + s.e + s.r + s.d + 8) +
+         24 * p.delivery_delay() + 32;
+}
+
+class SbrbNode {
+ public:
+  struct Params {
+    SbrbSamples s{};
+    Step deadline = 64;  ///< fixed completion step (see sbrb_deadline)
+  };
+
+  SbrbNode(const Params& p, NodeId self, NodeId n)
+      : p_(p), self_(self), n_(n) {}
+
+  template <class Ctx>
+  void on_start(Ctx& ctx) {
+    ctx.activate();  // every node subscribes, so every node participates
+    draw_samples(ctx.rng());
+    // Subscriptions ride the bulk queue: payload traffic (urgent queue)
+    // preempts them, so a late subscription only delays feedback, never
+    // dissemination.
+    for (const NodeId t : echo_sample_)
+      queue(bulk_, t, make_msg(Tag::kSbrbSubEcho, 0, 0));
+    for (const NodeId t : ready_sample_)
+      queue(bulk_, t, make_msg(Tag::kSbrbSubReady, 0, 0));
+    for (const NodeId t : delivery_sample_)
+      if (!contains(ready_sample_, t))
+        queue(bulk_, t, make_msg(Tag::kSbrbSubReady, 0, 0));
+    if (ctx.is_root()) {
+      candidate_ = kTruePayload;
+      ctx.mark_colored();
+      ctx.deliver();
+      delivered_ = true;
+      if (n_ == 1) {
+        ctx.complete();
+        return;
+      }
+      queue_gossip(ctx, Step{0});
+    }
+  }
+
+  template <class Ctx>
+  void on_receive(Ctx& ctx, const Message& m) {
+    // Signature verification: forged digests (kForgedBit) never influence
+    // state.  This single check is what reduces corruptors/spammers and
+    // non-root equivocators to crash faults.
+    if (m.payload != 0 && !payload_signed(m.payload)) return;
+    switch (m.tag) {
+      case Tag::kGossip: on_gossip(ctx, m); break;
+      case Tag::kSbrbSubEcho: on_sub_echo(ctx, m.src); break;
+      case Tag::kSbrbSubReady: on_sub_ready(ctx, m.src); break;
+      case Tag::kSbrbEcho: on_echo(ctx, m.src, m.payload); break;
+      case Tag::kSbrbReady: on_ready(ctx, m.src, m.payload); break;
+      default: break;  // foreign traffic (cross-protocol tests) ignored
+    }
+  }
+
+  template <class Ctx>
+  void on_tick(Ctx& ctx) {
+    const Step now = ctx.now();
+    if (now >= p_.deadline) {
+      ctx.complete();
+      return;
+    }
+    auto& q = !empty(urgent_) ? urgent_ : bulk_;
+    if (empty(q)) return;
+    auto [to, m] = q.items[q.head++];
+    m.time = now;
+    ctx.send(to, m);
+  }
+
+  bool colored() const { return candidate_ != 0; }
+  bool sieve_delivered() const { return sieve_delivered_; }
+  bool delivered() const { return delivered_; }
+  std::uint32_t candidate() const { return candidate_; }
+
+ private:
+  /// Per-candidate tallies.  Only validly signed digests get a slot, so
+  /// two (kTruePayload + the root-equivocation kAltPayload) is the
+  /// realistic maximum; the array guards the theoretical worst case.
+  struct Cand {
+    std::uint32_t digest = 0;
+    std::uint64_t echo_mask = 0;      ///< echoes seen, bit per e-sample slot
+    std::uint64_t ready_mask = 0;     ///< Readies from the r-sample
+    std::uint64_t delivery_mask = 0;  ///< Readies from the d-sample
+    bool ready = false;               ///< this node announced Ready(digest)
+  };
+  static constexpr int kMaxCandidates = 8;
+
+  struct SendQ {
+    std::vector<std::pair<NodeId, Message>> items;
+    std::size_t head = 0;
+  };
+  static bool empty(const SendQ& q) { return q.head >= q.items.size(); }
+  static void queue(SendQ& q, NodeId to, const Message& m) {
+    q.items.emplace_back(to, m);
+  }
+
+  Message make_msg(Tag tag, std::uint32_t payload, Step time) const {
+    Message m;
+    m.tag = tag;
+    m.payload = payload;
+    m.time = time;
+    return m;
+  }
+
+  static bool contains(const std::vector<NodeId>& v, NodeId x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  }
+  /// Index of x in a sample (samples are <= 64 ids; linear scan).
+  static int index_in(const std::vector<NodeId>& v, NodeId x) {
+    const auto it = std::find(v.begin(), v.end(), x);
+    return it == v.end() ? -1 : static_cast<int>(it - v.begin());
+  }
+
+  void draw_samples(Xoshiro256& rng) {
+    const auto draw = [&](int k) {
+      std::vector<NodeId> s;
+      s.reserve(static_cast<std::size_t>(k));
+      while (static_cast<int>(s.size()) < k) {
+        const NodeId t = rng.other_node(self_, n_);
+        if (!contains(s, t)) s.push_back(t);
+      }
+      return s;
+    };
+    echo_sample_ = draw(p_.s.e);
+    ready_sample_ = draw(p_.s.r);
+    delivery_sample_ = draw(p_.s.d);
+  }
+
+  Cand* slot_for(std::uint32_t digest) {
+    for (int k = 0; k < n_cands_; ++k)
+      if (cands_[k].digest == digest) return &cands_[k];
+    if (n_cands_ >= kMaxCandidates) return nullptr;
+    cands_[n_cands_].digest = digest;
+    return &cands_[n_cands_++];
+  }
+
+  template <class Ctx>
+  void queue_gossip(Ctx& ctx, Step now) {
+    for (int k = 0; k < p_.s.g; ++k)
+      queue(urgent_, ctx.rng().other_node(self_, n_),
+            make_msg(Tag::kGossip, candidate_, now));
+  }
+
+  /// Adopt `digest` as this node's one-and-only candidate: forward it to
+  /// the gossip fanout and echo it to everyone sampling us.
+  template <class Ctx>
+  void become_colored(Ctx& ctx, std::uint32_t digest) {
+    candidate_ = digest;
+    ctx.mark_colored();
+    queue_gossip(ctx, ctx.now());
+    for (const NodeId s : echo_subs_)
+      queue(urgent_, s, make_msg(Tag::kSbrbEcho, candidate_, ctx.now()));
+  }
+
+  template <class Ctx>
+  void on_gossip(Ctx& ctx, const Message& m) {
+    if (candidate_ != 0 || m.payload == 0) return;  // first candidate wins
+    become_colored(ctx, m.payload);
+  }
+
+  template <class Ctx>
+  void on_sub_echo(Ctx& ctx, NodeId src) {
+    if (contains(echo_subs_, src)) return;
+    echo_subs_.push_back(src);
+    if (candidate_ != 0)  // late subscriber: replay our echo
+      queue(urgent_, src, make_msg(Tag::kSbrbEcho, candidate_, ctx.now()));
+  }
+
+  template <class Ctx>
+  void on_sub_ready(Ctx& ctx, NodeId src) {
+    if (contains(ready_subs_, src)) return;
+    ready_subs_.push_back(src);
+    for (int k = 0; k < n_cands_; ++k)  // late subscriber: replay Readies
+      if (cands_[k].ready)
+        queue(urgent_, src,
+              make_msg(Tag::kSbrbReady, cands_[k].digest, ctx.now()));
+  }
+
+  template <class Ctx>
+  void on_echo(Ctx& ctx, NodeId src, std::uint32_t payload) {
+    const int idx = index_in(echo_sample_, src);
+    if (idx < 0 || payload == 0) return;  // not in our sample: no vote
+    Cand* c = slot_for(payload);
+    if (c == nullptr) return;
+    c->echo_mask |= std::uint64_t{1} << idx;
+    if (!sieve_delivered_ && payload == candidate_ &&
+        std::popcount(c->echo_mask) >= p_.s.e_thresh) {
+      sieve_delivered_ = true;  // Sieve consistency gate passed
+      become_ready(ctx, *c);
+    }
+  }
+
+  template <class Ctx>
+  void become_ready(Ctx& ctx, Cand& c) {
+    if (c.ready) return;
+    c.ready = true;
+    for (const NodeId s : ready_subs_)
+      queue(urgent_, s, make_msg(Tag::kSbrbReady, c.digest, ctx.now()));
+  }
+
+  template <class Ctx>
+  void on_ready(Ctx& ctx, NodeId src, std::uint32_t payload) {
+    if (payload == 0) return;
+    Cand* c = slot_for(payload);
+    if (c == nullptr) return;
+    const int ri = index_in(ready_sample_, src);
+    if (ri >= 0) c->ready_mask |= std::uint64_t{1} << ri;
+    const int di = index_in(delivery_sample_, src);
+    if (di >= 0) c->delivery_mask |= std::uint64_t{1} << di;
+    // Contagion feedback: enough sample Readies make us Ready too, even
+    // without sieve-delivery (this is what spreads Ready to nodes whose
+    // own sieve starved).
+    if (!c->ready && std::popcount(c->ready_mask) >= p_.s.r_thresh)
+      become_ready(ctx, *c);
+    // Delivery: a majority-with-margin of the delivery sample is Ready.
+    if (!delivered_ && std::popcount(c->delivery_mask) >= p_.s.d_thresh) {
+      delivered_ = true;
+      if (candidate_ == 0) {
+        // Gossip never reached us: adopt the sample-winning payload.
+        become_colored(ctx, payload);
+      }
+      ctx.adopt_payload(payload);  // deliver the sample winner, always
+      ctx.deliver();
+    }
+  }
+
+  Params p_;
+  NodeId self_;
+  NodeId n_;
+  std::vector<NodeId> echo_sample_;      // whose echoes we count
+  std::vector<NodeId> ready_sample_;     // whose Readies feed feedback
+  std::vector<NodeId> delivery_sample_;  // whose Readies trigger delivery
+  std::vector<NodeId> echo_subs_;        // who counts OUR echoes
+  std::vector<NodeId> ready_subs_;       // who counts OUR Readies
+  Cand cands_[kMaxCandidates]{};
+  int n_cands_ = 0;
+  std::uint32_t candidate_ = 0;  // first payload adopted (0 = uncolored)
+  bool sieve_delivered_ = false;
+  bool delivered_ = false;
+  SendQ urgent_;  // gossip forwards, echoes, Readies
+  SendQ bulk_;    // sample subscriptions
+};
+
+}  // namespace cg

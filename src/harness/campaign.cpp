@@ -19,6 +19,7 @@ const char* guarantee_name(Guarantee g) {
     case Guarantee::kAllReached: return "all-reached";
     case Guarantee::kAllOrNothing: return "all-or-nothing";
     case Guarantee::kSosConsistent: return "sos-consistent";
+    case Guarantee::kConsistent: return "consistent";
   }
   return "?";
 }
@@ -34,6 +35,8 @@ bool guarantee_holds(Guarantee g, const TrialAggregate& agg) {
     case Guarantee::kSosConsistent:
       return agg.all_or_nothing_violations == 0 &&
              agg.sos_incomplete_trials == 0;
+    case Guarantee::kConsistent:
+      return agg.consistency_violations == 0;
   }
   return false;
 }
@@ -50,6 +53,8 @@ bool trial_violates(Guarantee g, const RunMetrics& m) {
     case Guarantee::kSosConsistent:
       return !m.all_or_nothing_delivery() ||
              (m.sos_triggered && !m.all_active_delivered);
+    case Guarantee::kConsistent:
+      return !m.consistent_delivery;
   }
   return false;
 }
@@ -60,6 +65,15 @@ bool trial_violates(Guarantee g, const RunMetrics& m) {
 /// it a resend once the sweep has passed), so reach/all-or-nothing
 /// predicates degrade to observation-only cells there.
 Guarantee campaign_effective_guarantee(Guarantee g, const FaultScenario& sc) {
+  // Byzantine senders void every crash-model claim (reach and
+  // all-or-nothing assume honest forwarding); only kConsistent - the claim
+  // the Byzantine tier exists to test - stays asserted.  It is also immune
+  // to the crash rules below: crashes can only suppress deliveries, never
+  // split the delivered payload.
+  if (sc.byz_count > 0 && g != Guarantee::kConsistent &&
+      g != Guarantee::kNone)
+    return Guarantee::kNone;
+  if (g == Guarantee::kConsistent) return g;
   const bool crashes = sc.online_failures > 0 || sc.restarts > 0;
   if (!crashes || g == Guarantee::kNone) return g;
   if (g == Guarantee::kAllReached) return Guarantee::kNone;
@@ -159,6 +173,9 @@ TrialSpec campaign_trial_spec(const CampaignConfig& cfg,
   spec.stragglers = scenario.stragglers;
   spec.straggler_factor = scenario.straggler_factor;
   spec.partition_nodes = scenario.partition_nodes;
+  spec.byz_count = scenario.byz_count;
+  spec.byz_mode = scenario.byz_mode;
+  spec.byz_include_root = scenario.byz_include_root;
 
   // FCG is configured for the crash level it is asked to survive.
   if (entry.algo == Algo::kFcg)
@@ -393,6 +410,59 @@ std::vector<CampaignEntry> default_entries(Algo algo, const AlgoConfig& base) {
       v.push_back(plain);
       break;
   }
+  return v;
+}
+
+std::vector<FaultScenario> byzantine_fault_scenarios(NodeId n) {
+  std::vector<FaultScenario> v;
+  {
+    FaultScenario s;
+    s.name = "byz-clean";  // baseline: same entries, no adversary
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "byz-5pct";
+    s.byz_count = std::max<int>(1, static_cast<int>(n / 20));
+    s.byz_mode = ByzMode::kEquivocator;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "byz-10pct";
+    s.byz_count = std::max<int>(1, static_cast<int>(n / 10));
+    s.byz_mode = ByzMode::kEquivocator;
+    v.push_back(s);
+  }
+  {
+    FaultScenario s;
+    s.name = "byz-root-equiv";  // the canonical consistency attack
+    s.byz_count = 1;
+    s.byz_mode = ByzMode::kEquivocator;
+    s.byz_include_root = true;
+    v.push_back(s);
+  }
+  return v;
+}
+
+std::vector<CampaignEntry> byzantine_entries(const AlgoConfig& ccg,
+                                             const AlgoConfig& fcg,
+                                             const AlgoConfig& sbrb) {
+  std::vector<CampaignEntry> v;
+  CampaignEntry e;
+  e.label = "CCG";
+  e.algo = Algo::kCcg;
+  e.acfg = ccg;
+  e.guarantee = Guarantee::kConsistent;
+  v.push_back(e);
+  e.label = "FCG";
+  e.algo = Algo::kFcg;
+  e.acfg = fcg;
+  v.push_back(e);
+  e.label = "SBRB";
+  e.algo = Algo::kSbrb;
+  e.acfg = sbrb;
+  v.push_back(e);
   return v;
 }
 

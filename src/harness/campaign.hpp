@@ -32,6 +32,11 @@ struct FaultScenario {
   int stragglers = 0;
   Step straggler_factor = 4;
   int partition_nodes = 0;    ///< transient bidirectional partition size
+  // Byzantine adversaries (sim/fault/byzantine.hpp); sampled per trial,
+  // disjoint from the crash/restart sets.
+  int byz_count = 0;
+  ByzMode byz_mode = ByzMode::kEquivocator;
+  bool byz_include_root = false;  ///< root equivocation: the strongest attack
 };
 
 /// Which predicate a campaign cell asserts over its aggregate.
@@ -40,6 +45,8 @@ enum class Guarantee : std::uint8_t {
   kAllReached,    ///< all_colored_trials == trials
   kAllOrNothing,  ///< all_or_nothing_violations == 0
   kSosConsistent, ///< all-or-nothing and sos_incomplete_trials == 0
+  kConsistent,    ///< no two correct nodes delivered different payloads
+                  ///< (consistency_violations == 0; the Byzantine-tier claim)
 };
 
 const char* guarantee_name(Guarantee g);
@@ -152,5 +159,18 @@ std::vector<FaultScenario> default_fault_scenarios();
 /// without the reliable sublayer), claiming the guarantees the paper +
 /// hardening give it under message loss.
 std::vector<CampaignEntry> default_entries(Algo algo, const AlgoConfig& base);
+
+/// The Byzantine scenario grid (opt-in; fault_campaign --byz-grid): clean
+/// baseline, 5% and 10% equivocators, and single-root equivocation -
+/// crossed with byzantine_entries this demonstrates CCG/FCG violating
+/// kConsistent while SBRB holds it.  Counts are derived from `n`.
+std::vector<FaultScenario> byzantine_fault_scenarios(NodeId n);
+
+/// Entries for the Byzantine grid: CCG, FCG and SBRB, all claiming
+/// kConsistent.  The crash-model protocols are EXPECTED to fail it under
+/// equivocation (their violation artifacts are the point); SBRB must hold.
+std::vector<CampaignEntry> byzantine_entries(const AlgoConfig& ccg,
+                                             const AlgoConfig& fcg,
+                                             const AlgoConfig& sbrb);
 
 }  // namespace cg

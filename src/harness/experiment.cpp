@@ -40,6 +40,11 @@ void TrialAggregate::absorb(const RunMetrics& m) {
   if (m.hit_max_steps) ++hit_max_steps_trials;
   bfb_restarts_total += m.bfb_restarts;
   msgs_dropped_total += m.msgs_dropped;
+  if (!m.consistent_delivery) ++consistency_violations;
+  if (m.n_delivered_forged > 0) ++forged_delivery_trials;
+  msgs_equivocated_total += m.msgs_equivocated;
+  msgs_forged_total += m.msgs_forged;
+  msgs_suppressed_total += m.msgs_suppressed;
 }
 
 void TrialAggregate::merge(const TrialAggregate& o) {
@@ -61,6 +66,11 @@ void TrialAggregate::merge(const TrialAggregate& o) {
   hit_max_steps_trials += o.hit_max_steps_trials;
   bfb_restarts_total += o.bfb_restarts_total;
   msgs_dropped_total += o.msgs_dropped_total;
+  consistency_violations += o.consistency_violations;
+  forged_delivery_trials += o.forged_delivery_trials;
+  msgs_equivocated_total += o.msgs_equivocated_total;
+  msgs_forged_total += o.msgs_forged_total;
+  msgs_suppressed_total += o.msgs_suppressed_total;
 }
 
 void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out) {
@@ -89,6 +99,7 @@ void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out) {
   rcfg.failures.restarts.clear();
   rcfg.stragglers.clear();
   rcfg.partitions.clear();
+  rcfg.byzantine.nodes.clear();
   if (spec.burst_loss > 0)
     rcfg.burst = BurstLoss::from_rate(spec.burst_loss, spec.burst_mean);
 
@@ -100,7 +111,7 @@ void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out) {
   // class never perturbs an earlier one's schedule for the same seed.
   const bool wants_rng = spec.pre_failures > 0 || spec.online_failures > 0 ||
                          spec.restarts > 0 || spec.stragglers > 0 ||
-                         spec.partition_nodes > 0;
+                         spec.partition_nodes > 0 || spec.byz_count > 0;
   if (wants_rng) {
     Xoshiro256 frng(
         derive_seed(spec.seed, static_cast<std::uint64_t>(trial) * 2 + 2));
@@ -129,6 +140,33 @@ void trial_run_config_into(const TrialSpec& spec, int trial, RunConfig& out) {
       }
       rcfg.partitions.push_back(random_partition(
           spec.n, spec.partition_nodes, from, until, frng, spec.root));
+    }
+    if (spec.byz_count > 0) {
+      // Rejection-sample against the crash/restart sets so the validated
+      // disjointness invariant holds by construction (validate.cpp rejects
+      // overlap).  Drawn LAST so byz-free specs replay identically.
+      const auto taken = [&rcfg](NodeId i) {
+        for (const NodeId p : rcfg.failures.pre_failed)
+          if (p == i) return true;
+        for (const auto& of : rcfg.failures.online)
+          if (of.node == i) return true;
+        for (const auto& r : rcfg.failures.restarts)
+          if (r.node == i) return true;
+        for (const auto& b : rcfg.byzantine.nodes)
+          if (b.node == i) return true;
+        return false;
+      };
+      if (spec.byz_include_root && !taken(spec.root))
+        rcfg.byzantine.nodes.push_back({spec.root, spec.byz_mode});
+      const std::int64_t max_tries = 64 * static_cast<std::int64_t>(spec.n);
+      for (std::int64_t tries = 0;
+           static_cast<int>(rcfg.byzantine.nodes.size()) < spec.byz_count &&
+           tries < max_tries;
+           ++tries) {
+        const NodeId c = frng.bounded(spec.n);
+        if (c == spec.root || taken(c)) continue;
+        rcfg.byzantine.nodes.push_back({c, spec.byz_mode});
+      }
     }
   }
 }

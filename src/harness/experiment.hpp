@@ -56,6 +56,16 @@ struct TrialSpec {
   Step partition_from = 0;   ///< partition window [from, until); until<=from
   Step partition_until = 0;  ///<   with partition_nodes>0 = auto window
   Step max_steps = 0;        ///< RunConfig::max_steps override (0 = auto)
+
+  // Byzantine adversaries (sim/fault/byzantine.hpp), sampled per trial
+  // from the same failure RNG stream AFTER every crash-era draw (so adding
+  // them never perturbs an existing schedule) and kept disjoint from the
+  // crash/restart sets.
+  int byz_count = 0;  ///< Byzantine nodes per trial (byz_include_root counts
+                      ///< the root towards this total)
+  ByzMode byz_mode = ByzMode::kEquivocator;
+  bool byz_include_root = false;  ///< force the root into the Byzantine set
+                                  ///< (the canonical equivocation attack)
 };
 
 struct TrialAggregate {
@@ -84,6 +94,14 @@ struct TrialAggregate {
   std::int64_t hit_max_steps_trials = 0;
   std::int64_t bfb_restarts_total = 0;
   std::int64_t msgs_dropped_total = 0;  ///< backpressure drops (pull caps)
+  /// Byzantine tier: trials where two correct nodes delivered different
+  /// payloads (the kConsistent guarantee's violation count) and where any
+  /// correct node delivered a forged digest.
+  std::int64_t consistency_violations = 0;
+  std::int64_t forged_delivery_trials = 0;
+  std::int64_t msgs_equivocated_total = 0;
+  std::int64_t msgs_forged_total = 0;
+  std::int64_t msgs_suppressed_total = 0;
 
   void absorb(const RunMetrics& m);
   void merge(const TrialAggregate& other);

@@ -12,6 +12,7 @@
 #include "gossip/gos.hpp"
 #include "gossip/ocg.hpp"
 #include "gossip/ocg_chain.hpp"
+#include "gossip/sbrb.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/sharded_engine.hpp"
@@ -29,6 +30,7 @@ const char* algo_name(Algo a) {
     case Algo::kBig: return "BIG";
     case Algo::kBfb: return "BFB";
     case Algo::kOpt: return "opt";
+    case Algo::kSbrb: return "SBRB";
   }
   return "?";
 }
@@ -112,6 +114,12 @@ RunMetrics dispatch_algo(Runner&& r, Algo algo, const AlgoConfig& acfg,
       OptNode::Params params;
       params.schedule = OptSchedule::build(rcfg.n, rcfg.logp);
       return r.template run<OptNode>(params);
+    }
+    case Algo::kSbrb: {
+      SbrbNode::Params params;
+      params.s = sbrb_samples(rcfg.n, acfg.sbrb_eps, acfg.sbrb_byz_frac);
+      params.deadline = sbrb_deadline(params.s, rcfg.logp);
+      return r.template run<SbrbNode>(params);
     }
   }
   CG_CHECK_MSG(false, "unknown algorithm");

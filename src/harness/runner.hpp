@@ -20,6 +20,7 @@ enum class Algo : std::uint8_t {
   kBig,       ///< binomial graph (simulated baseline)
   kBfb,       ///< Buntinas restart tree (simulated baseline)
   kOpt,       ///< optimal pipelined broadcast (simulated lower bound)
+  kSbrb,      ///< sample-based Byzantine reliable broadcast (gossip/sbrb.hpp)
 };
 
 const char* algo_name(Algo a);
@@ -36,6 +37,11 @@ struct AlgoConfig {
   /// Ack/retransmit hardening of correction/SOS traffic (CCG/FCG only;
   /// see gossip/reliable.hpp).  Off by default.
   ReliableParams reliable;
+  /// SBRB: target per-property failure probability eps (samples scale as
+  /// ln(n) + ln(1/eps)) and the Byzantine fraction the thresholds margin
+  /// against.  Used only by Algo::kSbrb.
+  double sbrb_eps = 1e-3;
+  double sbrb_byz_frac = 0.15;
 };
 
 /// Run one trial; RunConfig supplies N, root, LogP, seed, and failures.

@@ -7,6 +7,7 @@
 #include "baselines/opt_tree.hpp"
 #include "common/check.hpp"
 #include "gossip/ocg_chain.hpp"
+#include "gossip/sbrb.hpp"
 
 namespace cg {
 
@@ -72,6 +73,15 @@ TunedAlgo tune_for(Algo algo, NodeId N, NodeId n_active, const LogP& logp,
       out.predicted_latency_steps = opt_latency_steps(N, logp);
       break;
     }
+    case Algo::kSbrb: {
+      // Sample sizes come from eps directly; latency is bounded by the
+      // protocol's own completion deadline (runner.cpp derives the same
+      // SbrbSamples from acfg, so prediction and run agree).
+      out.acfg.sbrb_eps = eps;
+      out.predicted_latency_steps =
+          sbrb_deadline(sbrb_samples(N, eps, out.acfg.sbrb_byz_frac), logp);
+      break;
+    }
   }
   return out;
 }
@@ -84,6 +94,8 @@ double reported_latency_steps(Algo algo, const TrialAggregate& agg) {
     case Algo::kFcg:
     case Algo::kOcgChain:
       return agg.t_complete.empty() ? 0.0 : agg.t_complete.mean();
+    case Algo::kSbrb:  // delivery, not the (fixed-deadline) completion
+      return agg.t_last_colored.empty() ? 0.0 : agg.t_last_colored.mean();
     case Algo::kBig:
     case Algo::kOpt:
       return agg.t_last_colored.empty() ? 0.0 : agg.t_last_colored.mean();

@@ -73,6 +73,18 @@ void write_json(JsonWriter& w, const RunMetrics& m) {
   w.kv("hit_max_steps", m.hit_max_steps);
   w.kv("bfb_restarts", m.bfb_restarts);
   w.kv("inconsistency", m.inconsistency());
+  if (m.n_byzantine > 0) {
+    w.kv("n_byzantine", static_cast<std::int64_t>(m.n_byzantine));
+    w.kv("n_delivered_true", static_cast<std::int64_t>(m.n_delivered_true));
+    w.kv("n_delivered_forged",
+         static_cast<std::int64_t>(m.n_delivered_forged));
+    w.kv("distinct_delivered_payloads",
+         static_cast<std::int64_t>(m.distinct_delivered_payloads));
+    w.kv("consistent_delivery", m.consistent_delivery);
+    w.kv("msgs_forged", m.msgs_forged);
+    w.kv("msgs_equivocated", m.msgs_equivocated);
+    w.kv("msgs_suppressed", m.msgs_suppressed);
+  }
   w.end_object();
 }
 
@@ -96,6 +108,11 @@ void write_json(JsonWriter& w, const TrialAggregate& agg) {
   w.kv("hit_max_steps_trials", agg.hit_max_steps_trials);
   w.kv("bfb_restarts_total", agg.bfb_restarts_total);
   w.kv("msgs_dropped_total", agg.msgs_dropped_total);
+  w.kv("consistency_violations", agg.consistency_violations);
+  w.kv("forged_delivery_trials", agg.forged_delivery_trials);
+  w.kv("msgs_equivocated_total", agg.msgs_equivocated_total);
+  w.kv("msgs_forged_total", agg.msgs_forged_total);
+  w.kv("msgs_suppressed_total", agg.msgs_suppressed_total);
   w.kv("all_colored_rate", agg.all_colored_rate());
   w.end_object();
 }

@@ -174,9 +174,13 @@ void append_trace_event(JsonWriter& w, const TraceEvent& ev,
       w.kv("ph", "i");  // instant event
       w.kv("s", "t");
       w.kv("name", trace_kind_name(ev.kind));
-      w.kv("cat", ev.kind == TraceEvent::Kind::kLost ? "fault" : "lifecycle");
+      const bool adversarial = ev.kind == TraceEvent::Kind::kForged ||
+                               ev.kind == TraceEvent::Kind::kEquivocated;
+      w.kv("cat", ev.kind == TraceEvent::Kind::kLost || adversarial
+                      ? "fault"
+                      : "lifecycle");
       if (ev.kind == TraceEvent::Kind::kFail ||
-          ev.kind == TraceEvent::Kind::kLost)
+          ev.kind == TraceEvent::Kind::kLost || adversarial)
         w.kv("cname", "terrible");
       else if (ev.kind == TraceEvent::Kind::kRestart)
         w.kv("cname", "good");

@@ -33,10 +33,14 @@ inline constexpr int kPhaseCount = 4;
 constexpr Phase phase_of(Tag t) {
   switch (t) {
     case Tag::kGossip:
-    case Tag::kPullReq: return Phase::kGossip;
+    case Tag::kPullReq:
+    case Tag::kSbrbSubEcho:
+    case Tag::kSbrbSubReady: return Phase::kGossip;
     case Tag::kOcgCorr:
     case Tag::kFwd:
-    case Tag::kBwd: return Phase::kCorrection;
+    case Tag::kBwd:
+    case Tag::kSbrbEcho:
+    case Tag::kSbrbReady: return Phase::kCorrection;
     case Tag::kSos: return Phase::kSos;
     case Tag::kTree:
     case Tag::kNack:

@@ -30,10 +30,14 @@ enum class Tag : std::uint8_t {
   kNack,        ///< BFB failure notification towards the root
   kAck,         ///< BFB subtree-complete acknowledgment / barrier gather
   kPullReq,     ///< push-pull gossip: payload request from an uncolored node
+  kSbrbSubEcho,  ///< SBRB Sieve: subscribe to the receiver's Echo stream
+  kSbrbSubReady, ///< SBRB Contagion: subscribe to the receiver's Ready stream
+  kSbrbEcho,     ///< SBRB Sieve: echo of the sender's candidate payload
+  kSbrbReady,    ///< SBRB Contagion: sender is ready to deliver `payload`
 };
 
 /// Number of Tag values (for per-tag counter arrays).
-inline constexpr int kTagCount = 9;
+inline constexpr int kTagCount = 13;
 
 constexpr const char* tag_name(Tag t) {
   switch (t) {
@@ -46,6 +50,10 @@ constexpr const char* tag_name(Tag t) {
     case Tag::kNack: return "nack";
     case Tag::kAck: return "ack";
     case Tag::kPullReq: return "pull-req";
+    case Tag::kSbrbSubEcho: return "sbrb-sub-echo";
+    case Tag::kSbrbSubReady: return "sbrb-sub-ready";
+    case Tag::kSbrbEcho: return "sbrb-echo";
+    case Tag::kSbrbReady: return "sbrb-ready";
   }
   return "?";
 }
@@ -80,6 +88,14 @@ struct Message {
   /// content-identical to (interchangeable with) its original.
   std::uint8_t retrans = 0;
   NodeId src = kNoNode;
+  /// Payload digest the message carries (0 = none).  Engines stamp the
+  /// sender's held digest at send time when the protocol leaves it 0, so
+  /// the crash-model protocols need no changes; SBRB reads and sets it
+  /// explicitly.  kTruePayload/kAltPayload are validly signed; a digest
+  /// with kForgedBit set fails signature verification (see
+  /// sim/fault/byzantine.hpp).  Not part of the canonical rx order except
+  /// as a final tiebreak (identical in every non-Byzantine run).
+  std::uint32_t payload = 0;
   /// Virtual time counter (gossip) or generation/epoch (BFB restarts).
   Step time = 0;
   /// FCG: g-nodes known to the sender in the direction opposite to travel

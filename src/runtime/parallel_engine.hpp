@@ -89,12 +89,16 @@ class ParallelEngine {
     }
     void ctx_activate(NodeId i) { eng->do_activate(worker, i); }
     void ctx_mark_colored(NodeId i) {
-      if (eng->store_.mark_colored(i, eng->step_)) {
+      auto& ws = eng->workers_[static_cast<std::size_t>(worker)];
+      if (eng->store_.mark_colored(i, eng->step_, ws.rx_payload)) {
         eng->trace(worker, {eng->step_, TraceEvent::Kind::kColored, i, kNoNode,
                             Tag::kGossip});
         if (eng->cfg_.telemetry != nullptr)
           eng->cfg_.telemetry->record_colored(worker, eng->step_);
       }
+    }
+    void ctx_adopt_payload(NodeId i, std::uint32_t d) {
+      eng->store_.set_held_payload(i, d);
     }
     void ctx_deliver(NodeId i) {
       if (eng->store_.mark_delivered(i, eng->step_))
@@ -134,6 +138,7 @@ class ParallelEngine {
     std::int64_t sent = 0;             // messages staged this step
     std::int64_t delivered = 0;        // messages consumed this step
     std::int64_t revived = 0;          // restarts applied this step
+    std::uint32_t rx_payload = 0;      // digest of the message being dispatched
     MessageCounts counts;              // merged into metrics at the end
     std::vector<TraceEvent> trace;     // merged in worker order per step
     // Self-profiling (RunConfig::profile): per-worker callback counts and
@@ -163,17 +168,38 @@ class ParallelEngine {
     CG_CHECK_MSG(to != from, "node sent a message to itself");
     auto& ws = workers_[static_cast<std::size_t>(worker)];
     gate_.on_send(from, step_);
-    ws.counts.add(m);
-    if (cfg_.trace != nullptr)
-      trace(worker, {step_, TraceEvent::Kind::kSend, from, to, m.tag});
+    Message adv = m;
+    if (adv.payload == 0) adv.payload = store_.held_payload(from);
+    if (byz_.any()) {
+      const ByzAction act = byz_.transform(from, to, adv, step_);
+      if (act == ByzAction::kSuppressed) {
+        ws.counts.add_suppressed();
+        return;  // swallowed at the sender: no send/lost trace, no route
+      }
+      if (act == ByzAction::kEquivocated) ws.counts.add_equivocated();
+      if (act == ByzAction::kForged) ws.counts.add_forged();
+      ws.counts.add(adv);
+      if (cfg_.trace != nullptr) {
+        trace(worker, {step_, TraceEvent::Kind::kSend, from, to, adv.tag});
+        if (act == ByzAction::kEquivocated)
+          trace(worker,
+                {step_, TraceEvent::Kind::kEquivocated, from, to, adv.tag});
+        else if (act == ByzAction::kForged)
+          trace(worker, {step_, TraceEvent::Kind::kForged, from, to, adv.tag});
+      }
+    } else {
+      ws.counts.add(adv);
+      if (cfg_.trace != nullptr)
+        trace(worker, {step_, TraceEvent::Kind::kSend, from, to, adv.tag});
+    }
 
     const Step at = net_.route(from, to, step_);
     if (at == NetworkModel::kLost) {  // lost on the wire (counted)
-      trace(worker, {step_, TraceEvent::Kind::kLost, from, to, m.tag});
+      trace(worker, {step_, TraceEvent::Kind::kLost, from, to, adv.tag});
       return;
     }
 
-    Message out = m;
+    Message out = adv;
     out.src = from;
     ws.outbox[static_cast<std::size_t>(step_ & 1)].push_back({at, to, out});
     ++ws.sent;
@@ -205,16 +231,20 @@ class ParallelEngine {
       ws.prof_max_bucket =
           std::max(ws.prof_max_bucket, static_cast<std::int64_t>(q.size()));
     }
+    // Stable compaction: the queue holds arrivals in (send step, sender)
+    // push order, and dispatch must preserve it per node - that is the
+    // cross-engine contract the serial calendar provides for free.  A
+    // swap-remove here would scramble same-step arrivals, which order-
+    // sensitive protocols (SBRB's subscription lists) observe.
     due.clear();
-    for (std::size_t k = 0; k < q.size();) {
-      if (q[k].at <= s) {
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      if (q[k].at <= s)
         due.push_back(q[k]);
-        q[k] = q.back();
-        q.pop_back();
-      } else {
-        ++k;
-      }
+      else
+        q[keep++] = q[k];
     }
+    q.resize(keep);
     if (cfg_.profile != nullptr)
       workers_[static_cast<std::size_t>(w)].prof_fired +=
           static_cast<std::int64_t>(due.size());
@@ -257,7 +287,10 @@ class ParallelEngine {
       ++workers_[static_cast<std::size_t>(w)].prof_receive;
     WorkerView view{this, w};
     Ctx ctx(view, to);
+    auto& ws = workers_[static_cast<std::size_t>(w)];
+    ws.rx_payload = m.payload;  // ambient digest for ctx_mark_colored
     nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
+    ws.rx_payload = 0;
   }
 
   void trace(int worker, TraceEvent ev) {
@@ -285,6 +318,7 @@ class ParallelEngine {
   NetworkModel net_;
   NodeStateStore store_;
   SendGate gate_;
+  ByzantineModel byz_;
   std::vector<Step> crash_at_;
   std::vector<Step> restart_up_;              // revive step per node (kNever)
   std::vector<std::vector<TimedMsg>> queue_;  // per-node pending deliveries
@@ -316,6 +350,8 @@ RunMetrics ParallelEngine<Node>::run() {
   net_.reset(cfg_);
   store_.reset(cfg_.n);
   gate_.reset(cfg_.n);
+  byz_.reset(cfg_.n, cfg_.root, cfg_.seed, cfg_.byzantine);
+  for (const auto& b : cfg_.byzantine.nodes) store_.mark_byzantine(b.node);
   crash_at_.assign(n, kNever);
   restart_up_.assign(n, kNever);
   queue_.assign(n, {});

@@ -83,11 +83,14 @@ class AsyncEngine {
   }
   void ctx_activate(NodeId i) { do_activate(i); }
   void ctx_mark_colored(NodeId i) {
-    if (store_.mark_colored(i, step_now())) {
+    if (store_.mark_colored(i, step_now(), rx_payload_)) {
       trace({step_now(), TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
       if (cfg_.telemetry != nullptr)
         cfg_.telemetry->record_colored(0, step_now());
     }
+  }
+  void ctx_adopt_payload(NodeId i, std::uint32_t d) {
+    store_.set_held_payload(i, d);
   }
   void ctx_deliver(NodeId i) {
     if (store_.mark_delivered(i, step_now()))
@@ -122,20 +125,40 @@ class AsyncEngine {
     CG_CHECK_MSG(to != from, "node sent a message to itself");
     const Step now = step_now();
     gate_.on_send(from, now);
-    counts_.add(m);
-    if (cfg_.trace != nullptr)
-      trace({now, TraceEvent::Kind::kSend, from, to, m.tag});
+    Message adv = m;
+    if (adv.payload == 0) adv.payload = store_.held_payload(from);
+    if (byz_.any()) {
+      const ByzAction act = byz_.transform(from, to, adv, now);
+      if (act == ByzAction::kSuppressed) {
+        counts_.add_suppressed();
+        return;  // swallowed at the sender: no send/lost trace, no route
+      }
+      if (act == ByzAction::kEquivocated) counts_.add_equivocated();
+      if (act == ByzAction::kForged) counts_.add_forged();
+      counts_.add(adv);
+      if (cfg_.trace != nullptr) {
+        trace({now, TraceEvent::Kind::kSend, from, to, adv.tag});
+        if (act == ByzAction::kEquivocated)
+          trace({now, TraceEvent::Kind::kEquivocated, from, to, adv.tag});
+        else if (act == ByzAction::kForged)
+          trace({now, TraceEvent::Kind::kForged, from, to, adv.tag});
+      }
+    } else {
+      counts_.add(adv);
+      if (cfg_.trace != nullptr)
+        trace({now, TraceEvent::Kind::kSend, from, to, adv.tag});
+    }
 
     const Step at = net_.route(from, to, now);
     if (at == NetworkModel::kLost) {  // lost on the wire (counted)
-      trace({now, TraceEvent::Kind::kLost, from, to, m.tag});
+      trace({now, TraceEvent::Kind::kLost, from, to, adv.tag});
       return;
     }
 
     // Append to the delivery calendar; one sweep event per arrival step
     // dispatches the whole slot (the slot's stamp dedups the event).
     const auto slot = static_cast<std::size_t>(at) & cal_mask_;
-    Message out = m;
+    Message out = adv;
     out.src = from;
     calendar_[slot].push_back({to, out});
     if (cal_stamp_[slot] != at) {
@@ -205,7 +228,9 @@ class AsyncEngine {
       cfg_.telemetry->record_delivery(0, to, step_now());
     if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_receive;
     Ctx ctx(*this, to);
+    rx_payload_ = m.payload;  // ambient digest for ctx_mark_colored
     nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
+    rx_payload_ = 0;
   }
 
   void do_activate(NodeId i) {
@@ -276,6 +301,8 @@ class AsyncEngine {
   NetworkModel net_;
   NodeStateStore store_;
   SendGate gate_;
+  ByzantineModel byz_;
+  std::uint32_t rx_payload_ = 0;  ///< digest of the message being dispatched
   MessageCounts counts_;
   std::vector<Step> crash_at_;
   std::vector<std::vector<Delivery>> calendar_;  // power-of-two ring by step
@@ -316,6 +343,9 @@ RunMetrics AsyncEngine<Node>::run() {
   net_.reset(cfg_);
   store_.reset(cfg_.n);
   gate_.reset(cfg_.n);
+  byz_.reset(cfg_.n, cfg_.root, cfg_.seed, cfg_.byzantine);
+  for (const auto& b : cfg_.byzantine.nodes) store_.mark_byzantine(b.node);
+  rx_payload_ = 0;
   counts_ = MessageCounts{};
   crash_at_.assign(n, kNever);
   // Delivery calendar: a power-of-two ring strictly larger than the max

@@ -15,6 +15,7 @@
 //   void ctx_complete(NodeId self);
 //   bool ctx_colored(NodeId self) const;
 //   void ctx_note_dropped(NodeId self);
+//   void ctx_adopt_payload(NodeId self, std::uint32_t digest);
 //
 // The host is the engine itself (serial, event-driven) or a per-worker view
 // of it (parallel), so engine-specific bookkeeping stays in the engine while
@@ -49,8 +50,16 @@ class BasicCtx {
   /// state on non-root nodes, e.g. pull-style gossip or testing hooks).
   void activate() { host_->ctx_activate(self_); }
 
-  /// Record that this node now holds the broadcast payload.
+  /// Record that this node now holds the broadcast payload.  The digest it
+  /// holds defaults to the one on the message being processed (the engine
+  /// tracks it); use adopt_payload() to override.
   void mark_colored() { host_->ctx_mark_colored(self_); }
+  /// Override the payload digest this node holds (and will deliver/forward)
+  /// - SBRB's Contagion adopts the sample-winning payload, which can differ
+  /// from the first-received candidate under equivocation.
+  void adopt_payload(std::uint32_t digest) {
+    host_->ctx_adopt_payload(self_, digest);
+  }
   /// Record formal delivery to the client (FCG semantics).
   void deliver() { host_->ctx_deliver(self_); }
   /// Exit the algorithm; no further callbacks for this node.

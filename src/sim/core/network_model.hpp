@@ -185,6 +185,10 @@ struct MessageCounts {
   std::int64_t tree = 0;
   std::int64_t retrans = 0;  ///< reliable-sublayer retransmissions
   std::int64_t dropped = 0;  ///< protocol backpressure drops (not sends)
+  std::int64_t sbrb = 0;     ///< SBRB subscribe/echo/ready messages
+  std::int64_t forged = 0;       ///< Byzantine-rewritten sends (on the wire)
+  std::int64_t equivocated = 0;  ///< Byzantine alternate-digest sends
+  std::int64_t suppressed = 0;   ///< sends a silent adversary swallowed
 
   void add(const Message& m) {
     ++total;
@@ -199,10 +203,17 @@ struct MessageCounts {
       case Tag::kTree:
       case Tag::kNack:
       case Tag::kAck: ++tree; break;
+      case Tag::kSbrbSubEcho:
+      case Tag::kSbrbSubReady:
+      case Tag::kSbrbEcho:
+      case Tag::kSbrbReady: ++sbrb; break;
     }
   }
 
   void add_dropped() { ++dropped; }
+  void add_forged() { ++forged; }
+  void add_equivocated() { ++equivocated; }
+  void add_suppressed() { ++suppressed; }
 
   void merge_into(RunMetrics& m) const {
     m.msgs_total += total;
@@ -212,6 +223,10 @@ struct MessageCounts {
     m.msgs_tree += tree;
     m.msgs_retrans += retrans;
     m.msgs_dropped += dropped;
+    m.msgs_sbrb += sbrb;
+    m.msgs_forged += forged;
+    m.msgs_equivocated += equivocated;
+    m.msgs_suppressed += suppressed;
   }
 };
 
@@ -230,7 +245,10 @@ inline bool rx_order_before(const Message& a, const Message& b) {
   if (a.known_count != b.known_count) return a.known_count < b.known_count;
   for (std::uint8_t i = 0; i < a.known_count; ++i)
     if (a.known[i] != b.known[i]) return a.known[i] < b.known[i];
-  return false;
+  // Payload digest last: only an equivocating sender can put two
+  // otherwise-identical messages with different digests in flight, so this
+  // tiebreak is a no-op in every non-Byzantine run.
+  return a.payload < b.payload;
 }
 
 }  // namespace cg

@@ -19,6 +19,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/fault/byzantine.hpp"
 #include "sim/metrics.hpp"
 
 namespace cg {
@@ -46,6 +47,9 @@ class NodeStateStore {
     delivered_at_.assign(sz, kNever);
     completed_at_.assign(sz, kNever);
     activated_at_.assign(sz, kNever);
+    held_payload_.assign(sz, 0);
+    delivered_payload_.assign(sz, 0);
+    byzantine_.assign(sz, 0);
   }
 
   NodeId n() const { return n_; }
@@ -55,6 +59,19 @@ class NodeStateStore {
   bool colored(NodeId i) const { return colored_at_[idx(i)] != kNever; }
   Step activated_at(NodeId i) const { return activated_at_[idx(i)]; }
   Step completed_at(NodeId i) const { return completed_at_[idx(i)]; }
+  /// Payload digest node i currently holds (0 until colored).
+  std::uint32_t held_payload(NodeId i) const { return held_payload_[idx(i)]; }
+  bool byzantine(NodeId i) const { return byzantine_[idx(i)] != 0; }
+
+  /// Flag node i as adversarial (engine setup, from RunConfig::byzantine).
+  /// Survives revive(): a compromised host stays compromised.
+  void mark_byzantine(NodeId i) { byzantine_[idx(i)] = 1; }
+
+  /// Override the digest node i holds (SBRB Contagion adopts the winning
+  /// payload just before delivering; also sets it for an uncolored node).
+  void set_held_payload(NodeId i, std::uint32_t d) {
+    held_payload_[idx(i)] = d;
+  }
 
   /// Mark a node dead before the run starts (failure set F at t=0).
   void pre_fail(NodeId i) {
@@ -102,22 +119,32 @@ class NodeStateStore {
     delivered_at_[idx(i)] = kNever;
     completed_at_[idx(i)] = kNever;
     activated_at_[idx(i)] = kNever;
+    held_payload_[idx(i)] = 0;
+    delivered_payload_[idx(i)] = 0;
     return true;
   }
 
-  /// Record payload receipt; returns true the first time only.
-  bool mark_colored(NodeId i, Step now) {
+  /// Record payload receipt; returns true the first time only.  `payload`
+  /// is the digest the coloring message carried (0 = self-coloring, e.g.
+  /// the root in on_start, which holds the true payload by definition).
+  /// First-wins: a later re-color attempt never replaces the held digest.
+  bool mark_colored(NodeId i, Step now, std::uint32_t payload = 0) {
     auto& c = colored_at_[idx(i)];
     if (c != kNever) return false;
     c = now;
+    if (held_payload_[idx(i)] == 0)
+      held_payload_[idx(i)] = payload != 0 ? payload : kTruePayload;
     return true;
   }
 
   /// Record formal delivery (FCG semantics); returns true the first time.
+  /// Snapshots the held digest as what this node delivered.
   bool mark_delivered(NodeId i, Step now) {
     auto& d = delivered_at_[idx(i)];
     if (d != kNever) return false;
     d = now;
+    const std::uint32_t h = held_payload_[idx(i)];
+    delivered_payload_[idx(i)] = h != 0 ? h : kTruePayload;
     return true;
   }
 
@@ -133,6 +160,11 @@ class NodeStateStore {
     bool any_uncolored = false, any_undelivered = false, any_incomplete = false;
     for (NodeId i = 0; i < n_; ++i) {
       if (alive_[idx(i)] == 0) continue;
+      // Reach/delivery guarantees quantify over CORRECT nodes: whether an
+      // adversary's own replica "delivered" is meaningless (an equivocator
+      // happily starves its own quorums), so Byzantine nodes count toward
+      // n_byzantine below, not n_active.
+      if (byzantine_[idx(i)] != 0) continue;
       ++m.n_active;
       if (colored_at_[idx(i)] != kNever) {
         ++m.n_colored;
@@ -164,6 +196,30 @@ class NodeStateStore {
     m.t_complete = any_incomplete ? kNever : last_complete;
     m.sos_triggered = m.msgs_sos > 0;
     m.t_root_complete = completed_at_[idx(root)];
+    // Byzantine accounting: payload agreement among CORRECT nodes (dead or
+    // alive - a node that delivered a conflicting payload and then crashed
+    // still witnessed the inconsistency).  Distinct-digest count saturates
+    // at kMaxDistinct; the predicates only need "1" vs "> 1".
+    constexpr int kMaxDistinct = 16;
+    std::uint32_t seen[kMaxDistinct];
+    int n_seen = 0;
+    for (NodeId i = 0; i < n_; ++i) {
+      if (byzantine_[idx(i)] != 0) {
+        ++m.n_byzantine;
+        continue;
+      }
+      const std::uint32_t d = delivered_payload_[idx(i)];
+      if (d == 0) continue;
+      if (d == kTruePayload)
+        ++m.n_delivered_true;
+      else
+        ++m.n_delivered_forged;
+      bool known = false;
+      for (int k = 0; k < n_seen; ++k) known = known || seen[k] == d;
+      if (!known && n_seen < kMaxDistinct) seen[n_seen++] = d;
+    }
+    m.distinct_delivered_payloads = n_seen;
+    m.consistent_delivery = n_seen <= 1;
     if (record_node_detail) {
       m.colored_at = colored_at_;
       m.delivered_at = delivered_at_;
@@ -173,8 +229,10 @@ class NodeStateStore {
 
   /// Heap bytes of the lifecycle arrays (memory-plan accounting).
   std::size_t footprint_bytes() const {
-    return alive_.capacity() * sizeof(std::uint8_t) +
+    return (alive_.capacity() + byzantine_.capacity()) * sizeof(std::uint8_t) +
            state_.capacity() * sizeof(NodeRunState) +
+           (held_payload_.capacity() + delivered_payload_.capacity()) *
+               sizeof(std::uint32_t) +
            (colored_at_.capacity() + delivered_at_.capacity() +
             completed_at_.capacity() + activated_at_.capacity()) *
                sizeof(Step);
@@ -193,6 +251,11 @@ class NodeStateStore {
   std::vector<Step> delivered_at_;
   std::vector<Step> completed_at_;
   std::vector<Step> activated_at_;
+  // Byzantine tier: digest each node holds / delivered (0 = none yet) and
+  // the adversary flags.  Same owner-disjoint thread-safety rules apply.
+  std::vector<std::uint32_t> held_payload_;
+  std::vector<std::uint32_t> delivered_payload_;
+  std::vector<std::uint8_t> byzantine_;
 };
 
 }  // namespace cg

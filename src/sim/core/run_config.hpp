@@ -11,6 +11,7 @@
 #include "sim/core/profile.hpp"
 #include "sim/failure.hpp"
 #include "sim/fault/burst_loss.hpp"
+#include "sim/fault/byzantine.hpp"
 #include "sim/fault/partition.hpp"
 #include "sim/fault/stragglers.hpp"
 #include "sim/logp.hpp"
@@ -73,6 +74,12 @@ struct RunConfig {
   std::vector<Straggler> stragglers;
   /// Fault model: transient bidirectional partitions.
   std::vector<PartitionWindow> partitions;
+  /// Fault model: Byzantine adversaries - nodes whose SENDS are rewritten
+  /// (silenced, equivocated, forged, spammed) while they run the honest
+  /// protocol code.  Disjoint from the crash/restart sets; validated by
+  /// config_error().  Decisions are pure hashes of (seed, edge, step), so
+  /// Byzantine runs stay engine/shard/thread-invariant.
+  ByzantineFaults byzantine{};
 
   Step effective_max_steps() const {
     return max_steps > 0

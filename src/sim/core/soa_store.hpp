@@ -99,8 +99,8 @@ class SoaNodeStore {
     return true;
   }
 
-  bool mark_colored(NodeId i, Step now) {
-    if (!life_.mark_colored(i, now)) return false;
+  bool mark_colored(NodeId i, Step now, std::uint32_t payload = 0) {
+    if (!life_.mark_colored(i, now, payload)) return false;
     colored_.set(i);
     return true;
   }
@@ -108,6 +108,12 @@ class SoaNodeStore {
   bool mark_delivered(NodeId i, Step now) {
     return life_.mark_delivered(i, now);
   }
+
+  std::uint32_t held_payload(NodeId i) const { return life_.held_payload(i); }
+  void set_held_payload(NodeId i, std::uint32_t d) {
+    life_.set_held_payload(i, d);
+  }
+  void mark_byzantine(NodeId i) { life_.mark_byzantine(i); }
 
   void finalize(RunMetrics& m, NodeId root, Step t_end,
                 bool record_node_detail) const {

@@ -98,10 +98,13 @@ class Engine {
     if (store_.activate(i, step_)) ++active_count_;
   }
   void ctx_mark_colored(NodeId i) {
-    if (store_.mark_colored(i, step_)) {
+    if (store_.mark_colored(i, step_, rx_payload_)) {
       trace({step_, TraceEvent::Kind::kColored, i, kNoNode, Tag::kGossip});
       if (cfg_.telemetry != nullptr) cfg_.telemetry->record_colored(0, step_);
     }
+  }
+  void ctx_adopt_payload(NodeId i, std::uint32_t d) {
+    store_.set_held_payload(i, d);
   }
   void ctx_deliver(NodeId i) {
     if (store_.mark_delivered(i, step_))
@@ -142,6 +145,8 @@ class Engine {
   NetworkModel net_;
   NodeStateStore store_;
   SendGate gate_;
+  ByzantineModel byz_;
+  std::uint32_t rx_payload_ = 0;  ///< digest of the message being dispatched
   MessageCounts counts_;
   std::vector<std::vector<Delivery>> calendar_;  // ring buffer, D+1 slots
   std::vector<InboxBuf> inbox_;                  // kOnePerStep only
@@ -164,17 +169,37 @@ void Engine<Node>::do_send(NodeId from, NodeId to, const Message& m) {
   CG_CHECK(to >= 0 && to < cfg_.n);
   CG_CHECK_MSG(to != from, "node sent a message to itself");
   gate_.on_send(from, step_);
-  counts_.add(m);
-  if (cfg_.trace != nullptr)
-    trace({step_, TraceEvent::Kind::kSend, from, to, m.tag});
+  Message adv = m;
+  if (adv.payload == 0) adv.payload = store_.held_payload(from);
+  if (byz_.any()) {
+    const ByzAction act = byz_.transform(from, to, adv, step_);
+    if (act == ByzAction::kSuppressed) {
+      counts_.add_suppressed();
+      return;  // swallowed at the sender: no send/lost trace, no route
+    }
+    if (act == ByzAction::kEquivocated) counts_.add_equivocated();
+    if (act == ByzAction::kForged) counts_.add_forged();
+    counts_.add(adv);
+    if (cfg_.trace != nullptr) {
+      trace({step_, TraceEvent::Kind::kSend, from, to, adv.tag});
+      if (act == ByzAction::kEquivocated)
+        trace({step_, TraceEvent::Kind::kEquivocated, from, to, adv.tag});
+      else if (act == ByzAction::kForged)
+        trace({step_, TraceEvent::Kind::kForged, from, to, adv.tag});
+    }
+  } else {
+    counts_.add(adv);
+    if (cfg_.trace != nullptr)
+      trace({step_, TraceEvent::Kind::kSend, from, to, adv.tag});
+  }
 
   const Step at = net_.route(from, to, step_);
   if (at == NetworkModel::kLost) {  // lost on the wire (counted as work)
-    trace({step_, TraceEvent::Kind::kLost, from, to, m.tag});
+    trace({step_, TraceEvent::Kind::kLost, from, to, adv.tag});
     return;
   }
 
-  Message out = m;
+  Message out = adv;
   out.src = from;
   auto& slot = calendar_[static_cast<std::size_t>(
       at % static_cast<Step>(calendar_.size()))];
@@ -217,7 +242,9 @@ void Engine<Node>::dispatch(NodeId to, const Message& m) {
     cfg_.telemetry->record_delivery(0, to, step_);
   if (cfg_.profile != nullptr) ++cfg_.profile->callbacks_receive;
   Ctx ctx(*this, to);
+  rx_payload_ = m.payload;  // ambient digest for ctx_mark_colored
   nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
+  rx_payload_ = 0;
 }
 
 template <class Node>
@@ -234,6 +261,9 @@ RunMetrics Engine<Node>::run_impl() {
   net_.reset(cfg_);
   store_.reset(cfg_.n);
   gate_.reset(cfg_.n);
+  byz_.reset(cfg_.n, cfg_.root, cfg_.seed, cfg_.byzantine);
+  for (const auto& b : cfg_.byzantine.nodes) store_.mark_byzantine(b.node);
+  rx_payload_ = 0;
   counts_ = MessageCounts{};
   // Reset the ring to D+1 empty slots, keeping each slot's capacity when
   // the delay structure is unchanged (the trial-farm steady state).

@@ -65,6 +65,23 @@ std::string config_error(const RunConfig& cfg) {
       return err("node %lld scheduled to fail twice", r.node);
   }
 
+  // Byzantine set: in range, no duplicate roles for a node, and disjoint
+  // from every crash/restart schedule - a node is either crash-faulty or
+  // Byzantine, never both (the `crashed` set above already holds all of
+  // pre_failed / online / restarts).  The root may be Byzantine only when
+  // configured explicitly (ByzantineFaults::random excludes it; a config
+  // that lists it has opted in - the equivocating-root attack).
+  std::unordered_set<NodeId> byz;
+  for (const auto& bn : cfg.byzantine.nodes) {
+    if (!in_range(bn.node, cfg.n))
+      return err("byzantine node %lld out of range", bn.node);
+    if (!byz.insert(bn.node).second)
+      return err("node %lld listed as byzantine twice", bn.node);
+    if (crashed.count(bn.node) != 0)
+      return err("node %lld is both byzantine and crash/restart-scheduled",
+                 bn.node);
+  }
+
   std::unordered_set<NodeId> straggling;
   for (const auto& s : cfg.stragglers) {
     if (!in_range(s.node, cfg.n))

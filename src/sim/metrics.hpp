@@ -34,6 +34,24 @@ struct RunMetrics {
                                      ///< (already included in msgs_total)
   std::int64_t msgs_dropped = 0;     ///< protocol-level backpressure drops
                                      ///< (e.g. pull-request backlog overflow)
+  std::int64_t msgs_sbrb = 0;        ///< SBRB subscribe/echo/ready messages
+
+  // --- Byzantine tier (sim/fault/byzantine.hpp) ------------------------
+  NodeId n_byzantine = 0;            ///< adversarial nodes this run
+  /// Correct (non-Byzantine) nodes that delivered the root's true payload
+  /// digest vs. a forged/equivocated one.
+  NodeId n_delivered_true = 0;
+  NodeId n_delivered_forged = 0;
+  /// Distinct payload digests delivered across correct nodes (0 = nobody
+  /// delivered).  > 1 is a consistency violation.
+  int distinct_delivered_payloads = 0;
+  /// No two correct nodes delivered different payloads (vacuously true
+  /// when nobody delivered) - the campaign's kConsistent predicate.
+  bool consistent_delivery = true;
+  std::int64_t msgs_forged = 0;       ///< sends rewritten by corruptor/spammer
+  std::int64_t msgs_equivocated = 0;  ///< sends carrying an alternate digest
+  std::int64_t msgs_suppressed = 0;   ///< sends a silent adversary swallowed
+                                      ///< (never on the wire, not in msgs_total)
 
   // --- flags ------------------------------------------------------------
   bool all_active_colored = false;

@@ -92,12 +92,15 @@ class ShardedEngine {
     }
     void ctx_activate(NodeId i) { eng->do_activate(shard, i); }
     void ctx_mark_colored(NodeId i) {
-      if (eng->soa_.mark_colored(i, ctx_now())) {
+      if (eng->soa_.mark_colored(i, ctx_now(), eng->shards_[st()].rx_payload)) {
         eng->trace(shard, {ctx_now(), TraceEvent::Kind::kColored, i, kNoNode,
                            Tag::kGossip});
         if (eng->cfg_.telemetry != nullptr)
           eng->cfg_.telemetry->record_colored(shard, ctx_now());
       }
+    }
+    void ctx_adopt_payload(NodeId i, std::uint32_t d) {
+      eng->soa_.set_held_payload(i, d);
     }
     void ctx_deliver(NodeId i) {
       if (eng->soa_.mark_delivered(i, ctx_now()))
@@ -159,6 +162,7 @@ class ShardedEngine {
     std::int64_t delivered = 0;
     std::int64_t revived = 0;
     Step last_activity = -1;  ///< see file comment (end-step reconstruction)
+    std::uint32_t rx_payload = 0;  ///< digest of the message being dispatched
     MessageCounts counts;
     std::vector<TraceEvent> trace;
     // Self-profiling.
@@ -182,17 +186,40 @@ class ShardedEngine {
     CG_CHECK_MSG(to != from, "node sent a message to itself");
     auto& st = shards_[static_cast<std::size_t>(shard)];
     gate_.on_send(from, st.now);
-    st.counts.add(m);
-    if (cfg_.trace != nullptr)
-      trace(shard, {st.now, TraceEvent::Kind::kSend, from, to, m.tag});
+    // Byzantine transform runs BEFORE owner_of(to): a spammer's redirected
+    // destination decides the same-shard-vs-boundary routing.
+    Message adv = m;
+    if (adv.payload == 0) adv.payload = soa_.held_payload(from);
+    if (byz_.any()) {
+      const ByzAction act = byz_.transform(from, to, adv, st.now);
+      if (act == ByzAction::kSuppressed) {
+        st.counts.add_suppressed();
+        return;  // swallowed at the sender: no send/lost trace, no route
+      }
+      if (act == ByzAction::kEquivocated) st.counts.add_equivocated();
+      if (act == ByzAction::kForged) st.counts.add_forged();
+      st.counts.add(adv);
+      if (cfg_.trace != nullptr) {
+        trace(shard, {st.now, TraceEvent::Kind::kSend, from, to, adv.tag});
+        if (act == ByzAction::kEquivocated)
+          trace(shard,
+                {st.now, TraceEvent::Kind::kEquivocated, from, to, adv.tag});
+        else if (act == ByzAction::kForged)
+          trace(shard, {st.now, TraceEvent::Kind::kForged, from, to, adv.tag});
+      }
+    } else {
+      st.counts.add(adv);
+      if (cfg_.trace != nullptr)
+        trace(shard, {st.now, TraceEvent::Kind::kSend, from, to, adv.tag});
+    }
 
     const Step at = net_.route(from, to, st.now);
     if (at == NetworkModel::kLost) {  // lost on the wire (counted as work)
-      trace(shard, {st.now, TraceEvent::Kind::kLost, from, to, m.tag});
+      trace(shard, {st.now, TraceEvent::Kind::kLost, from, to, adv.tag});
       return;
     }
 
-    Message out = m;
+    Message out = adv;
     out.src = from;
     ++st.sent;
     if (cfg_.profile != nullptr) ++st.prof_scheduled;
@@ -260,7 +287,10 @@ class ShardedEngine {
       ++shards_[static_cast<std::size_t>(shard)].prof_receive;
     ShardView view{this, shard};
     Ctx ctx(view, to);
+    auto& st = shards_[static_cast<std::size_t>(shard)];
+    st.rx_payload = m.payload;  // ambient digest for ctx_mark_colored
     soa_.node(to).on_receive(ctx, m);
+    st.rx_payload = 0;
   }
 
   void trace(int shard, TraceEvent ev) {
@@ -322,6 +352,7 @@ class ShardedEngine {
   SoaNodeStore<Node> soa_;
   NetworkModel net_;
   SendGate gate_;
+  ByzantineModel byz_;
   std::vector<Step> crash_at_;    // pending scheduled crash (kNever = none)
   bool any_crash_ = false;        // any online failure or restart scheduled
   std::vector<Step> restart_up_;  // revive step (kNever = none)
@@ -476,6 +507,8 @@ RunMetrics ShardedEngine<Node>::run() {
   soa_.reset(cfg_.n, cfg_.seed, params_);
   net_.reset(cfg_);
   gate_.reset(cfg_.n);
+  byz_.reset(cfg_.n, cfg_.root, cfg_.seed, cfg_.byzantine);
+  for (const auto& b : cfg_.byzantine.nodes) soa_.mark_byzantine(b.node);
   crash_at_.assign(n, kNever);
   restart_up_.assign(n, kNever);
 

@@ -14,6 +14,8 @@ const char* trace_kind_name(TraceEvent::Kind k) {
     case TraceEvent::Kind::kFail: return "fail";
     case TraceEvent::Kind::kRestart: return "restart";
     case TraceEvent::Kind::kLost: return "lost";
+    case TraceEvent::Kind::kForged: return "forged";
+    case TraceEvent::Kind::kEquivocated: return "equivocated";
   }
   return "?";
 }
@@ -36,7 +38,9 @@ std::string VectorTrace::to_string() const {
     int n = 0;
     if (ev.kind == TraceEvent::Kind::kSend ||
         ev.kind == TraceEvent::Kind::kDeliver ||
-        ev.kind == TraceEvent::Kind::kLost) {
+        ev.kind == TraceEvent::Kind::kLost ||
+        ev.kind == TraceEvent::Kind::kForged ||
+        ev.kind == TraceEvent::Kind::kEquivocated) {
       n = std::snprintf(buf, sizeof(buf), "t=%3lld  %-9s node %3d %s node %3d  [%s]\n",
                         static_cast<long long>(ev.step), trace_kind_name(ev.kind),
                         ev.node, ev.kind == TraceEvent::Kind::kDeliver ? "<-" : "->",

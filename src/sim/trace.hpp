@@ -21,6 +21,8 @@ struct TraceEvent {
     kFail,      ///< node crashed
     kRestart,   ///< node returned from a crash (uncolored, protocol reset)
     kLost,      ///< message from node to peer lost on the wire
+    kForged,       ///< Byzantine sender forged the message to peer
+    kEquivocated,  ///< Byzantine sender equivocated the payload to peer
   };
 
   Step step = 0;
@@ -36,7 +38,7 @@ struct TraceEvent {
 };
 
 /// Number of TraceEvent::Kind values (for per-kind counter arrays).
-inline constexpr int kTraceKindCount = 8;
+inline constexpr int kTraceKindCount = 10;
 
 const char* trace_kind_name(TraceEvent::Kind k);
 
