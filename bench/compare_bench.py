@@ -92,7 +92,7 @@ def main() -> int:
                     help="allowed fractional slowdown (default 0.05)")
     ap.add_argument("--reps", type=int, default=2,
                     help="benchmark process invocations; best rate wins")
-    ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel|Sbrb)|EngineSharded/4096|TrialFarm)",
+    ap.add_argument("--filter", default="BM_(Engine(Serial|Async|Parallel)|EngineSbrb(Sharded)?/(1024|4096)|EngineSharded/4096|TrialFarm)",
                     help="regex passed to --benchmark_filter")
     ap.add_argument("--overhead", action="append", default=[],
                     metavar="BASE:PROBE:FRAC",

@@ -155,6 +155,28 @@ void BM_EngineSbrb(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineSbrb)->Arg(1024)->Arg(4096);
 
+// SBRB on the window-sharded SoA engine: the staged-send step kernel
+// sweeps the pending-sends bitmap instead of ticking every active node,
+// which is what makes the 65536-node runs feasible (docs/PERF.md §7).
+void BM_EngineSbrbSharded(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto shards = static_cast<int>(state.range(1));
+  std::uint64_t seed = 1;
+  SbrbNode::Params p;
+  p.s = sbrb_samples(n, 1e-4, 0.1);
+  p.deadline = sbrb_deadline(p.s, LogP::piz_daint());
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.logp = LogP::piz_daint();
+    cfg.seed = seed++;
+    ShardedEngine<SbrbNode> eng(cfg, p, shards);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSbrbSharded)->Args({4096, 1})->Args({4096, 8});
+
 // The window-sharded SoA engine, same CCG workload, at bench scale and at
 // the scales it exists for ({65536, 1M} nodes x {1, 8} shards).  The big
 // arguments run ONE iteration per repetition by design - a 1M-node run is
@@ -211,8 +233,14 @@ BENCHMARK(BM_EngineShardedTelemetry)
     ->Unit(benchmark::kMillisecond);
 
 // The 65536-node cross-engine comparison points BENCH_engine.json cites
-// (serial/async at the sharded engine's home scale).
+// (serial/async/SBRB at the sharded engine's home scale).  Excluded from
+// the bench-smoke filter - these are ms-per-run data points, not gates.
 BENCHMARK(BM_EngineSerial)->Arg(65536)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineSbrb)->Arg(65536)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineSbrbSharded)
+    ->Args({65536, 1})
+    ->Args({65536, 8})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineAsync)->Arg(65536)->Unit(benchmark::kMillisecond);
 
 // Trial-farm throughput: run_trials() end to end (pool scheduling, engine

@@ -175,4 +175,6 @@ ThreadPool& ThreadPool::global(int min_threads) {
   return pool;
 }
 
+bool ThreadPool::in_pool_work() { return t_in_pool_work; }
+
 }  // namespace cg

@@ -83,6 +83,13 @@ class ThreadPool {
   /// variable between jobs and cost nothing while the farm is quiet.
   static ThreadPool& global(int min_threads = 0);
 
+  /// Is the calling thread currently executing pool work (a worker inside
+  /// a job, or any thread inside an inline/nested parallel_for body)?  A
+  /// parallel_for issued from such a thread runs inline; callers whose
+  /// bodies synchronize with each other (e.g. a barrier between chunks)
+  /// must check this and fall back to a sequential schedule.
+  static bool in_pool_work();
+
  private:
   struct Job;
 

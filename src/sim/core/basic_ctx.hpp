@@ -42,6 +42,10 @@ class BasicCtx {
   bool is_root() const { return self_ == host_->ctx_cfg().root; }
   const LogP& logp() const { return host_->ctx_cfg().logp; }
   Xoshiro256& rng() { return host_->ctx_rng(self_); }
+  /// The run's root seed - for protocols that derive deterministic
+  /// per-node randomness (e.g. SBRB's splitmix64-keyed samples) without
+  /// consuming the trial RNG stream.
+  std::uint64_t seed() const { return host_->ctx_cfg().seed; }
 
   /// Emit one message; delivered at now() + L/O + 1 (+ network effects).
   void send(NodeId to, const Message& m) { host_->ctx_send(self_, to, m); }

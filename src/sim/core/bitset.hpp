@@ -56,11 +56,53 @@ class PackedBits {
     }
   }
 
+  /// Visit every bit set in BOTH this and `other` within [lo, hi), in
+  /// increasing order.  Word-wise AND, so a sweep over "active AND
+  /// pending" costs the same ~range/64 loads as a plain sweep (the
+  /// sharded engine's SBRB kernel uses this to skip idle nodes).
+  /// `other` must cover the range.
+  template <class Fn>
+  void for_each_set_and(const PackedBits& other, NodeId lo, NodeId hi,
+                        Fn&& fn) const {
+    if (lo >= hi) return;
+    std::size_t w = word(lo);
+    const std::size_t w_end = word(hi - 1);
+    std::uint64_t bits = (words_[w] & other.words_[w]) &
+                         (~0ULL << (static_cast<unsigned>(lo) & 63));
+    for (;;) {
+      if (w == w_end)
+        bits &= ~0ULL >> (63 - (static_cast<unsigned>(hi - 1) & 63));
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+      }
+      if (w == w_end) break;
+      ++w;
+      bits = words_[w] & other.words_[w];
+    }
+  }
+
+  /// Number of set bits in [lo, hi) (word-masked popcounts).
+  NodeId count_in(NodeId lo, NodeId hi) const {
+    if (lo >= hi) return 0;
+    std::size_t w = word(lo);
+    const std::size_t w_end = word(hi - 1);
+    std::uint64_t bits = words_[w] & (~0ULL << (static_cast<unsigned>(lo) & 63));
+    NodeId cnt = 0;
+    for (;;) {
+      if (w == w_end)
+        bits &= ~0ULL >> (63 - (static_cast<unsigned>(hi - 1) & 63));
+      cnt += static_cast<NodeId>(std::popcount(bits));
+      if (w == w_end) break;
+      bits = words_[++w];
+    }
+    return cnt;
+  }
+
   /// True if no bit is set in [lo, hi).
   bool none_in(NodeId lo, NodeId hi) const {
-    bool any = false;
-    for_each_set(lo, hi, [&](NodeId) { any = true; });
-    return !any;
+    return count_in(lo, hi) == 0;
   }
 
   std::size_t footprint_bytes() const {

@@ -43,9 +43,20 @@ class SoaNodeStore {
     active_.reset(n);
     colored_.reset(n);
     const auto sz = static_cast<std::size_t>(n);
-    nodes_.clear();
-    nodes_.reserve(sz);
-    for (NodeId i = 0; i < n; ++i) nodes_.emplace_back(params, i, n);
+    if constexpr (kNodeReset) {
+      if (nodes_.size() == sz) {
+        for (NodeId i = 0; i < n; ++i)
+          nodes_[static_cast<std::size_t>(i)].reset_for_run(params, i, n);
+      } else {
+        nodes_.clear();
+        nodes_.reserve(sz);
+        for (NodeId i = 0; i < n; ++i) nodes_.emplace_back(params, i, n);
+      }
+    } else {
+      nodes_.clear();
+      nodes_.reserve(sz);
+      for (NodeId i = 0; i < n; ++i) nodes_.emplace_back(params, i, n);
+    }
     rng_.clear();
     rng_.reserve(sz);
     for (NodeId i = 0; i < n; ++i)
@@ -69,6 +80,19 @@ class SoaNodeStore {
 
   /// Bitmap of Active nodes (engine sweep acceleration; read-only).
   const PackedBits& active_bits() const { return active_; }
+
+  // --- dense SBRB state block (sharded SBRB step kernel) ------------------
+  // One bit per node: "has staged sends" (SbrbNode::sbrb_idle() == false).
+  // The sharded engine's SBRB kernel sweeps pending AND active instead of
+  // ticking every active node, so idle nodes cost nothing per step.  Only
+  // allocated when the engine asks for it; like the lifecycle bitmaps,
+  // words are owner-disjoint under 64-aligned shard blocks.
+
+  /// (Re)allocate and clear the pending-sends bitmap for n() nodes.
+  void reset_sbrb_block() { sbrb_pending_.reset(life_.n()); }
+  const PackedBits& sbrb_pending_bits() const { return sbrb_pending_; }
+  void sbrb_set_pending(NodeId i) { sbrb_pending_.set(i); }
+  void sbrb_clear_pending(NodeId i) { sbrb_pending_.clear(i); }
 
   // --- transitions (byte arrays + bitmaps updated together) --------------
   void pre_fail(NodeId i) { life_.pre_fail(i); }
@@ -94,7 +118,10 @@ class SoaNodeStore {
   bool revive(NodeId i, const Params& params) {
     if (!life_.revive(i)) return false;
     // Fresh protocol instance, uncolored and passive (see sim/engine.hpp).
-    nodes_[static_cast<std::size_t>(i)] = Node(params, i, life_.n());
+    if constexpr (kNodeReset)
+      nodes_[static_cast<std::size_t>(i)].reset_for_run(params, i, life_.n());
+    else
+      nodes_[static_cast<std::size_t>(i)] = Node(params, i, life_.n());
     colored_.clear(i);
     return true;
   }
@@ -126,14 +153,23 @@ class SoaNodeStore {
     return nodes_.capacity() * sizeof(Node) +
            rng_.capacity() * sizeof(Xoshiro256) +
            active_.footprint_bytes() + colored_.footprint_bytes() +
+           sbrb_pending_.footprint_bytes() +
            static_cast<std::size_t>(life_.n()) *
                (2 * sizeof(std::uint8_t) + 4 * sizeof(Step));
   }
 
  private:
+  /// Same trait as Engine/ShardedEngine: in-place capacity-preserving
+  /// node reset, used for trial reruns and restart revival.
+  static constexpr bool kNodeReset =
+      requires(Node& nd, const Params& p) {
+        nd.reset_for_run(p, NodeId{0}, NodeId{2});
+      };
+
   NodeStateStore life_;
   PackedBits active_;   // mirrors state == kActive
   PackedBits colored_;  // mirrors colored_at != kNever
+  PackedBits sbrb_pending_;  // SBRB kernel: nodes with staged sends
   std::vector<Node> nodes_;
   std::vector<Xoshiro256> rng_;
 };

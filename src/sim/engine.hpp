@@ -32,6 +32,8 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "obs/telemetry.hpp"
 #include "proto/message.hpp"
 #include "sim/core/basic_ctx.hpp"
+#include "sim/core/bitset.hpp"
 #include "sim/core/inbox.hpp"
 #include "sim/core/network_model.hpp"
 #include "sim/core/node_state.hpp"
@@ -120,10 +123,74 @@ class Engine {
   void ctx_note_dropped(NodeId) { counts_.add_dropped(); }
 
  private:
-  struct Delivery {
+  /// Does the Node support in-place reset (capacity-preserving return to
+  /// the freshly-constructed state)?  When it does, trial reruns and
+  /// restarts reuse the node objects instead of re-emplacing them - the
+  /// zero-alloc steady-state path for protocols with internal buffers
+  /// (e.g. SBRB's staged-send slabs).
+  static constexpr bool kNodeReset =
+      requires(Node& nd, const Params& p) {
+        nd.reset_for_run(p, NodeId{0}, NodeId{2});
+      };
+
+  /// Does the protocol expose the SBRB staged-send kernel contract
+  /// (gossip/sbrb.hpp)?  Same kernel as sim/sharded_engine.hpp: on runs
+  /// with no crash schedule the per-step tick sweep walks the dense
+  /// pending-sends bitmap instead of every active node, and fully
+  /// quiescent spans (nothing staged, nothing in flight) fast-forward
+  /// straight to the deadline tick.  Traces and profile counts reproduce
+  /// the generic sweep exactly (tests/test_sbrb_fastpath.cpp): with no
+  /// crashes and SBRB's activate-all on_start, the active set is fixed
+  /// from step 1 until the deadline, and a pre-deadline tick of an idle
+  /// node is a no-op.
+  static constexpr bool kSbrbStaged =
+      requires(Node& nd, const Node& cnd, const typename Node::Params& p,
+               Step s) {
+        { cnd.sbrb_idle() } -> std::convertible_to<bool>;
+        {
+          nd.sbrb_pop_staged(s)
+        } -> std::convertible_to<std::pair<NodeId, Message>>;
+        { p.deadline } -> std::convertible_to<Step>;
+      };
+
+  struct DeliveryFull {
     NodeId to;
     Message msg;
   };
+  /// Compact calendar record for SBRB runs.  SBRB messages never carry
+  /// known[]/known_count/retrans (and every Byzantine transform leaves
+  /// them zero too), so {src, time, payload, tag} reconstructs the exact
+  /// Message - including its rx_order_before key - at 24 bytes instead of
+  /// 64.  Calendar traffic is the engine's largest streaming cost at
+  /// scale, so this matters (docs/PERF.md §7).
+  struct DeliveryCompact {
+    NodeId to;
+    NodeId src;
+    Step time;
+    std::uint32_t payload;
+    Tag tag;
+  };
+  using Delivery =
+      std::conditional_t<kSbrbStaged, DeliveryCompact, DeliveryFull>;
+  static Delivery make_delivery(NodeId to, const Message& m) {
+    if constexpr (kSbrbStaged) {
+      return {to, m.src, m.time, m.payload, m.tag};
+    } else {
+      return {to, m};
+    }
+  }
+  static Message delivery_msg(const Delivery& d) {
+    if constexpr (kSbrbStaged) {
+      Message m;
+      m.tag = d.tag;
+      m.src = d.src;
+      m.payload = d.payload;
+      m.time = d.time;
+      return m;
+    } else {
+      return d.msg;
+    }
+  }
 
   RunMetrics run_impl();
   void do_send(NodeId from, NodeId to, const Message& m);
@@ -155,6 +222,8 @@ class Engine {
   std::vector<Delivery> due_;                    // per-step scratch
   std::vector<OnlineFailure> online_scratch_;    // sorted crash schedule
   std::vector<Restart> revive_scratch_;          // sorted revival schedule
+  PackedBits sbrb_pending_;                      // kSbrbStaged kernel only
+  bool sbrb_kernel_ = false;                     // kernel engaged this run
   std::int64_t in_flight_ = 0;
   NodeId active_count_ = 0;
   RunMetrics metrics_{};
@@ -203,7 +272,7 @@ void Engine<Node>::do_send(NodeId from, NodeId to, const Message& m) {
   out.src = from;
   auto& slot = calendar_[static_cast<std::size_t>(
       at % static_cast<Step>(calendar_.size()))];
-  slot.push_back({to, out});
+  slot.push_back(make_delivery(to, out));
   ++in_flight_;
   if (cfg_.profile != nullptr) {
     ++cfg_.profile->events_scheduled;
@@ -227,7 +296,10 @@ void Engine<Node>::apply_restart(NodeId i) {
   // The rejoined node runs a FRESH protocol instance: uncolored, Idle,
   // passive until its first receive (we do not re-run on_start; the
   // broadcast started without it).
-  nodes_[static_cast<std::size_t>(i)] = Node(params_, i, cfg_.n);
+  if constexpr (kNodeReset)
+    nodes_[static_cast<std::size_t>(i)].reset_for_run(params_, i, cfg_.n);
+  else
+    nodes_[static_cast<std::size_t>(i)] = Node(params_, i, cfg_.n);
   trace({step_, TraceEvent::Kind::kRestart, i, kNoNode, Tag::kGossip});
 }
 
@@ -245,14 +317,36 @@ void Engine<Node>::dispatch(NodeId to, const Message& m) {
   rx_payload_ = m.payload;  // ambient digest for ctx_mark_colored
   nodes_[static_cast<std::size_t>(to)].on_receive(ctx, m);
   rx_payload_ = 0;
+  if constexpr (kSbrbStaged) {
+    // Keep the dense pending-sends bitmap coherent: a receive is the only
+    // place a node can stage new sends mid-run.  The bitmap test runs
+    // first - it is cache-resident, while sbrb_idle() touches the node's
+    // queue headers, a line the receive handler often left cold.
+    if (sbrb_kernel_ && !sbrb_pending_.test(to) &&
+        !nodes_[static_cast<std::size_t>(to)].sbrb_idle())
+      sbrb_pending_.set(to);
+  }
 }
 
 template <class Node>
 RunMetrics Engine<Node>::run_impl() {
   const auto n = static_cast<std::size_t>(cfg_.n);
-  nodes_.clear();
-  nodes_.reserve(n);
-  for (NodeId i = 0; i < cfg_.n; ++i) nodes_.emplace_back(params_, i, cfg_.n);
+  if constexpr (kNodeReset) {
+    if (nodes_.size() == n) {
+      for (NodeId i = 0; i < cfg_.n; ++i)
+        nodes_[static_cast<std::size_t>(i)].reset_for_run(params_, i, cfg_.n);
+    } else {
+      nodes_.clear();
+      nodes_.reserve(n);
+      for (NodeId i = 0; i < cfg_.n; ++i)
+        nodes_.emplace_back(params_, i, cfg_.n);
+    }
+  } else {
+    nodes_.clear();
+    nodes_.reserve(n);
+    for (NodeId i = 0; i < cfg_.n; ++i)
+      nodes_.emplace_back(params_, i, cfg_.n);
+  }
 
   rng_.clear();
   rng_.reserve(n);
@@ -324,11 +418,28 @@ RunMetrics Engine<Node>::run_impl() {
   // as activated at step 0 (colored at 0, first emission at step 1).
   store_.activate(cfg_.root, 0);
   ++active_count_;
+  // The staged-send kernel engages only without a crash schedule: lazy
+  // kills and restart revivals need the generic sweep's exact stepping
+  // (mirrors ShardedEngine's any_crash_ gate; pre-failed nodes are fine,
+  // they just never enter the active set).
+  sbrb_kernel_ = false;
+  if constexpr (kSbrbStaged)
+    sbrb_kernel_ =
+        cfg_.failures.online.empty() && cfg_.failures.restarts.empty();
   for (NodeId i = 0; i < cfg_.n; ++i) {
     if (!store_.alive(i)) continue;
     if (prof != nullptr) ++prof->callbacks_start;
     Ctx ctx(*this, i);
     nodes_[static_cast<std::size_t>(i)].on_start(ctx);
+  }
+  if constexpr (kSbrbStaged) {
+    if (sbrb_kernel_) {
+      sbrb_pending_.reset(cfg_.n);
+      for (NodeId i = 0; i < cfg_.n; ++i)
+        if (store_.alive(i) && !store_.done(i) &&
+            !nodes_[static_cast<std::size_t>(i)].sbrb_idle())
+          sbrb_pending_.set(i);
+    }
   }
 
   const Step max_steps = cfg_.effective_max_steps();
@@ -363,7 +474,29 @@ RunMetrics Engine<Node>::run_impl() {
     if (prof != nullptr)
       prof->events_fired += static_cast<std::int64_t>(due.size());
     if (cfg_.rx == RxPolicy::kDrainAll) {
-      for (const auto& d : due) dispatch(d.to, d.msg);
+      // Receivers arrive in near-random order, so each dispatch starts
+      // with a cold miss on the target node.  Two-stage software pipeline:
+      // prefetch the node's header lines several entries ahead, then (for
+      // protocols with tag-directed hints) let the node prefetch the
+      // handler's dependent data - sample/subscriber lines - two entries
+      // ahead, once its header has arrived.  This overlaps the receive
+      // chain's serial misses with the preceding handlers.
+      constexpr bool kRxHint =
+          requires(const Node& cnd, Tag t) { cnd.sbrb_prefetch(t); };
+      for (std::size_t k = 0; k < due.size(); ++k) {
+        if (k + 6 < due.size()) {
+          const auto* nxt = reinterpret_cast<const char*>(
+              &nodes_[static_cast<std::size_t>(due[k + 6].to)]);
+          __builtin_prefetch(nxt);
+          __builtin_prefetch(nxt + 64);
+        }
+        if constexpr (kRxHint && kSbrbStaged) {
+          if (k + 2 < due.size())
+            nodes_[static_cast<std::size_t>(due[k + 2].to)].sbrb_prefetch(
+                due[k + 2].tag);
+        }
+        dispatch(due[k].to, delivery_msg(due[k]));
+      }
     } else {
       // Append this step's arrivals, then canonically order each inbox's
       // new tail so all engines defer the same message to the next step.
@@ -373,7 +506,7 @@ RunMetrics Engine<Node>::run_impl() {
           inbox_stamp_[idx] = step_;
           inbox_tail_[idx] = inbox_[idx].size();
         }
-        inbox_[idx].push_back(d.msg);
+        inbox_[idx].push_back(delivery_msg(d));
       }
       for (const auto& d : due) {
         const auto idx = static_cast<std::size_t>(d.to);
@@ -400,13 +533,66 @@ RunMetrics Engine<Node>::run_impl() {
     // 3. ticks - a node activated at step c (first receive, or the root at
     // step 0) may only emit from step c+1 (its receive occupied step c),
     // so its first tick is skipped.
-    for (NodeId i = 0; i < cfg_.n; ++i) {
-      if (store_.state(i) != NodeRunState::kActive ||
-          store_.activated_at(i) == step_)
-        continue;
-      if (prof != nullptr) ++prof->callbacks_tick;
-      Ctx ctx(*this, i);
-      nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
+    //
+    // SBRB staged-send kernel (see kSbrbStaged): between step 1 and the
+    // deadline only nodes with staged sends are visited; the deadline
+    // sweep and step 0 fall through to the generic loop (which completes
+    // everyone, resp. skips everyone as activated-this-step).
+    bool generic_ticks = true;
+    if constexpr (kSbrbStaged) {
+      if (sbrb_kernel_ && step_ > 0 && step_ < params_.deadline) {
+        generic_ticks = false;
+        if (in_flight_ == 0 && cfg_.heartbeat == nullptr &&
+            sbrb_pending_.none_in(0, cfg_.n)) {
+          // Fully quiescent: no message in flight, nothing staged, no
+          // crash schedule - nothing can happen before the deadline tick
+          // (or the max_steps cutoff).  Fast-forward, accounting the
+          // skipped steps' would-be ticks: the active set is fixed and
+          // every member was activated before this step.
+          const Step target = std::min(params_.deadline, max_steps);
+          if (prof != nullptr) {
+            prof->callbacks_tick +=
+                static_cast<std::int64_t>(active_count_) * (target - step_);
+            prof->tick_s += ProfileClock::seconds_since(prof_phase0);
+          }
+          step_ = target;
+          continue;
+        }
+        if (prof != nullptr) prof->callbacks_tick += active_count_;
+        constexpr bool kPopHint =
+            requires(const Node& cnd) { cnd.sbrb_prefetch_pop(); };
+        sbrb_pending_.for_each_set(0, cfg_.n, [&](NodeId i) {
+          // During the dribble phase the pending set is dense, so the next
+          // visited node is almost always i+1: prefetch i+2's queue
+          // headers now, and let i+1 (whose headers arrived last
+          // iteration) prefetch its queue front before we work on i.
+          if (i + 2 < cfg_.n)
+            __builtin_prefetch(
+                reinterpret_cast<const char*>(&nodes_[i + 2]) + 64);
+          if constexpr (kPopHint) {
+            if (i + 1 < cfg_.n)
+              nodes_[static_cast<std::size_t>(i + 1)].sbrb_prefetch_pop();
+          }
+          auto& nd = nodes_[static_cast<std::size_t>(i)];
+          if (nd.sbrb_idle()) {  // defensive: stale pending bit
+            sbrb_pending_.clear(i);
+            return;
+          }
+          const auto [to, m] = nd.sbrb_pop_staged(step_);
+          do_send(i, to, m);
+          if (nd.sbrb_idle()) sbrb_pending_.clear(i);
+        });
+      }
+    }
+    if (generic_ticks) {
+      for (NodeId i = 0; i < cfg_.n; ++i) {
+        if (store_.state(i) != NodeRunState::kActive ||
+            store_.activated_at(i) == step_)
+          continue;
+        if (prof != nullptr) ++prof->callbacks_tick;
+        Ctx ctx(*this, i);
+        nodes_[static_cast<std::size_t>(i)].on_tick(ctx);
+      }
     }
     if (prof != nullptr) prof->tick_s += ProfileClock::seconds_since(prof_phase0);
 

@@ -46,11 +46,23 @@
 // batched emission path that skips the generic on_tick while consuming
 // the same RNG stream, SendGate slot and message shape - behavior-
 // preserving by the plain_gossip_msg contract (gossip/timing.hpp).
+// Nodes exposing the SBRB staged-send contract (sbrb_idle/sbrb_pop_staged,
+// see gossip/sbrb.hpp) take a second kernel: on crash-free runs the tick
+// sweep walks the dense pending-sends bitmap (active AND pending) instead
+// of ticking every active node, so idle nodes cost nothing per step while
+// traces and profile counts stay byte-identical to the generic sweep
+// (docs/PERF.md §7).
+//
+// Shard workers run on the persistent process-wide cg_pool (ROADMAP item:
+// no per-run std::thread spawns).  One parallel_for spans the whole run -
+// each shard holds its pool slot across every window and the shards meet
+// at a SenseBarrier between windows, so the one-sync-per-window structure
+// (and its cost) matches the dedicated-thread design it replaces.
 #pragma once
 
 #include <algorithm>
 #include <array>
-#include <thread>
+#include <concepts>
 #include <utility>
 #include <vector>
 
@@ -59,6 +71,7 @@
 #include "gossip/timing.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/sync_barrier.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/core/basic_ctx.hpp"
 #include "sim/core/bitset.hpp"
 #include "sim/core/inbox.hpp"
@@ -132,6 +145,23 @@ class ShardedEngine {
   /// Does the protocol expose the batched plain-gossip contract?
   static constexpr bool kPlainGossip =
       requires(const Node& nd) { nd.in_plain_gossip(Step{0}); };
+
+  /// Does the protocol expose the SBRB staged-send kernel contract
+  /// (gossip/sbrb.hpp)?  The kernel additionally relies on the protocol
+  /// properties documented there: every node activates in on_start, a
+  /// pre-deadline tick emits exactly the front staged message, and
+  /// completion happens only at the deadline tick.  It engages on runs
+  /// with no crash schedule (any_crash_ == false); faulted runs use the
+  /// generic sweep, which applies lazy kills at exact scheduled steps.
+  static constexpr bool kSbrbStaged =
+      requires(Node& nd, const Node& cnd, const typename Node::Params& p,
+               Step s) {
+        { cnd.sbrb_idle() } -> std::convertible_to<bool>;
+        {
+          nd.sbrb_pop_staged(s)
+        } -> std::convertible_to<std::pair<NodeId, Message>>;
+        { p.deadline } -> std::convertible_to<Step>;
+      };
 
   struct Delivery {
     Step sent_at;  ///< emission step; (sent_at, msg.src) is a unique key
@@ -291,6 +321,12 @@ class ShardedEngine {
     st.rx_payload = m.payload;  // ambient digest for ctx_mark_colored
     soa_.node(to).on_receive(ctx, m);
     st.rx_payload = 0;
+    if constexpr (kSbrbStaged) {
+      // Keep the dense pending-sends bitmap coherent: a receive is the
+      // only place a node can stage new sends mid-run.  `to` is shard-
+      // owned and blocks are 64-aligned, so the word is owner-disjoint.
+      if (!any_crash_ && !soa_.node(to).sbrb_idle()) soa_.sbrb_set_pending(to);
+    }
   }
 
   void trace(int shard, TraceEvent ev) {
@@ -461,9 +497,49 @@ void ShardedEngine<Node>::run_window(int sidx, Step win_lo, Step win_hi) {
       });
     }
 
-    // 3. tick sweep over the Active bitmap (idle/done nodes cost nothing -
+    // 3. tick sweep.  Protocols with the SBRB staged-send contract get
+    // the dense kernel on crash-free runs: only nodes with staged sends
+    // are visited, while did_work/prof_tick reproduce the generic sweep's
+    // accounting exactly (with no crash schedule and SBRB's activate-all
+    // on_start, the active set is fixed until the deadline, so the
+    // generic sweep would tick every active node at every step s >= 1).
+    bool generic_ticks = true;
+    if constexpr (kSbrbStaged) {
+      if (!any_crash_) {
+        generic_ticks = false;
+        if (s >= params_.deadline) {
+          // Deadline sweep: every active node's tick is ctx.complete().
+          soa_.active_bits().for_each_set(st.lo, st.hi, [&](NodeId i) {
+            if (soa_.activated_at(i) == s) return;
+            did_work = true;
+            if (profiled) ++st.prof_tick;
+            do_complete(sidx, i);
+          });
+        } else if (s > 0) {
+          if (profiled)
+            st.prof_tick += soa_.active_bits().count_in(st.lo, st.hi);
+          if (!did_work && !soa_.active_bits().none_in(st.lo, st.hi))
+            did_work = true;
+          soa_.sbrb_pending_bits().for_each_set_and(
+              soa_.active_bits(), st.lo, st.hi, [&](NodeId i) {
+                if (soa_.activated_at(i) == s) return;
+                auto& nd = soa_.node(i);
+                if (nd.sbrb_idle()) {  // defensive: stale pending bit
+                  soa_.sbrb_clear_pending(i);
+                  return;
+                }
+                const auto [to, msg] = nd.sbrb_pop_staged(s);
+                do_send(sidx, i, to, msg);
+                if (nd.sbrb_idle()) soa_.sbrb_clear_pending(i);
+              });
+        }
+        // s == 0: on_start activated every node this step, so the
+        // generic sweep would skip them all - nothing to do.
+      }
+    }
+    // Generic sweep over the Active bitmap (idle/done nodes cost nothing -
     // the flat-plan payoff).  A node activated this step skips its tick.
-    soa_.active_bits().for_each_set(st.lo, st.hi, [&](NodeId i) {
+    if (generic_ticks) soa_.active_bits().for_each_set(st.lo, st.hi, [&](NodeId i) {
       if (any_crash_ && crash_at_[static_cast<std::size_t>(i)] <= s) {
         maybe_lazy_kill(sidx, i, s);
         return;
@@ -528,6 +604,7 @@ RunMetrics ShardedEngine<Node>::run() {
   metrics_ = RunMetrics{};
   any_crash_ =
       !cfg_.failures.online.empty() || !cfg_.failures.restarts.empty();
+  if constexpr (kSbrbStaged) soa_.reset_sbrb_block();
   window_lo_ = 0;
   win_parity_ = 0;
   windows_done_ = 0;
@@ -574,6 +651,14 @@ RunMetrics ShardedEngine<Node>::run() {
     soa_.node(i).on_start(ctx);
   }
   in_start_ = false;
+  if constexpr (kSbrbStaged) {
+    // Seed the pending-sends bitmap from on_start's staged subscriptions
+    // (single-threaded; the per-window sweeps only maintain it from here).
+    if (!any_crash_)
+      for (NodeId i = 0; i < cfg_.n; ++i)
+        if (soa_.alive(i) && !soa_.node(i).sbrb_idle())
+          soa_.sbrb_set_pending(i);
+  }
   fold_deltas();
   last_activity_ = -1;  // on_start activity is folded into the t_end=0 case
   flush_traces();
@@ -592,7 +677,7 @@ RunMetrics ShardedEngine<Node>::run() {
       window_lo_ = std::min(window_lo_ + window_, max_steps);
       win_parity_ ^= 1;
       ++windows_done_;
-      if (cfg_.heartbeat != nullptr)  // single-threaded: barrier completion
+      if (cfg_.heartbeat != nullptr)  // single-threaded: between windows
         cfg_.heartbeat->beat(window_lo_, max_steps, 0);
       if (quiescent()) {
         stop_ = true;
@@ -601,53 +686,84 @@ RunMetrics ShardedEngine<Node>::run() {
         stop_ = true;
       }
     };
-    const unsigned hw = std::thread::hardware_concurrency();
-    const int spin =
-        (hw != 0 && static_cast<unsigned>(nshards_) <= hw) ? 2048 : 0;
-    SenseBarrier bar(nshards_, on_window_done, spin);
 
-    auto shard_fn = [this, &bar, max_steps](int sidx) {
+    // One shard task per window.  Phase B - draining the PREVIOUS
+    // window's sealed opposite-parity outboxes - runs at the start of the
+    // task: every writer finished before the previous window's join, and
+    // the per-slot canonical sort makes calendar insertion order
+    // irrelevant, so traces stay byte-identical for any shard count and
+    // any pool scheduling (a worker may even run several shards).
+    const bool profiled = cfg_.profile != nullptr;
+    auto window_task = [this, profiled](int sidx, std::int64_t k,
+                                        std::size_t par, Step win_lo,
+                                        Step win_hi) {
       auto& st = shards_[static_cast<std::size_t>(sidx)];
-      const bool profiled = cfg_.profile != nullptr;
-      std::int64_t wk = 0;
-      for (;;) {
-        const Step win_lo = window_lo_;
-        const Step win_hi = std::min(win_lo + window_, max_steps);
-        const auto par = static_cast<std::size_t>(win_parity_);
-        const auto prof_a0 =
-            profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
-        // Reuse this parity's outbox: its readers (phase B two windows
-        // ago) all passed the intervening barrier (cf. parallel engine).
-        if (wk > 1) st.outbox[par].clear();
-        run_window(sidx, win_lo, win_hi);
-        if (profiled) st.prof_a_s += ProfileClock::seconds_since(prof_a0);
-        bar.arrive_and_wait();
-        if (stop_) break;
+      if (k >= 1) {
         const auto prof_b0 =
             profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
-        // Phase B: pull owned destinations out of every shard's sealed
-        // parity outbox into the private calendar.  Slot order does not
-        // matter - slots are canonically sorted at dispatch.
         for (const auto& other : shards_) {
-          for (const auto& bm : other.outbox[par]) {
+          for (const auto& bm : other.outbox[par ^ 1]) {
             if (bm.to >= st.lo && bm.to < st.hi)
               st.calendar[ring_slot(st, bm.at)].push_back(
                   {bm.sent_at, bm.to, bm.msg});
           }
         }
         if (profiled) st.prof_b_s += ProfileClock::seconds_since(prof_b0);
-        ++wk;
       }
+      // Reuse this parity's outbox: its readers (phase B of window k-1,
+      // above) all completed before window k-1's join.
+      if (k >= 2) st.outbox[par].clear();
+      const auto prof_a0 =
+          profiled ? ProfileClock::now() : ProfileClock::TimePoint{};
+      run_window(sidx, win_lo, win_hi);
+      if (profiled) st.prof_a_s += ProfileClock::seconds_since(prof_a0);
     };
 
-    if (nshards_ == 1) {
-      shard_fn(0);
+    // Shard workers run on the persistent process-wide pool (no per-run
+    // thread spawns).  A multi-shard run claims one pool slot per shard
+    // for its WHOLE duration - one parallel_for per run, not per window -
+    // and the shards meet at a SenseBarrier between windows, exactly the
+    // dedicated-thread structure this replaces: dispatching a fresh pool
+    // job every window costs two condvar hops per window, which is
+    // measurable on CCG-sized runs.  Nested runs (this engine inside a
+    // pool worker, e.g. --engine=sharded under the trial farm) and
+    // single-shard runs take the sequential per-window loop instead: a
+    // nested parallel_for executes its chunks inline on one thread, where
+    // the barrier would deadlock.
+    ThreadPool* pool = (nshards_ > 1 && !ThreadPool::in_pool_work())
+                           ? &ThreadPool::global(nshards_)
+                           : nullptr;
+    if (pool != nullptr) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      const int spin =
+          (hw != 0 && static_cast<unsigned>(nshards_) <= hw) ? 2048 : 0;
+      SenseBarrier bar(nshards_, on_window_done, spin);
+      // Safe against a participant claiming two shards: nobody's chunk
+      // body returns before window 0's barrier, which needs all nshards_
+      // shards - so all chunks are claimed by distinct participants
+      // (global(nshards_) guarantees enough of them) before any frees up.
+      pool->parallel_for(
+          nshards_, 1, nshards_, [&](std::int64_t b, std::int64_t e, int) {
+            for (std::int64_t sidx = b; sidx < e; ++sidx) {
+              for (std::int64_t k = 0;; ++k) {
+                const Step win_lo = window_lo_;
+                const Step win_hi = std::min(win_lo + window_, max_steps);
+                const auto par = static_cast<std::size_t>(win_parity_);
+                window_task(static_cast<int>(sidx), k, par, win_lo, win_hi);
+                bar.arrive_and_wait();  // completion fn: on_window_done
+                if (stop_) break;
+              }
+            }
+          });
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(nshards_ - 1));
-      for (int w = 1; w < nshards_; ++w) pool.emplace_back(shard_fn, w);
-      shard_fn(0);
-      for (auto& th : pool) th.join();
+      for (std::int64_t k = 0; !stop_; ++k) {
+        const Step win_lo = window_lo_;
+        const Step win_hi = std::min(win_lo + window_, max_steps);
+        const auto par = static_cast<std::size_t>(win_parity_);
+        for (int sidx = 0; sidx < nshards_; ++sidx)
+          window_task(sidx, k, par, win_lo, win_hi);
+        on_window_done();
+      }
     }
 
     t_end = metrics_.hit_max_steps ? max_steps : last_activity_ + 1;

@@ -308,6 +308,24 @@ TEST(TrialFarm, WorkspaceZeroAllocSteadyState) {
   EXPECT_EQ(delta, 0) << "per-trial heap allocations regressed";
 }
 
+TEST(TrialFarm, SbrbWorkspaceZeroAllocSteadyState) {
+  // SBRB rides the same contract: SbrbNode::reset_for_run() preserves the
+  // capacity of its subscriber lists and send-staging slabs, so replayed
+  // clean-network trials touch no heap (the point of the flat sample
+  // arrays + compact Staged entries - see docs/PERF.md §7).
+  TrialSpec spec = clean_spec();
+  spec.algo = Algo::kSbrb;
+  spec.acfg.sbrb_eps = 1e-3;
+  spec.acfg.sbrb_byz_frac = 0.1;
+  TrialWorkspace ws;
+  for (int t = 0; t < 32; ++t) ws.run(spec, t);
+  const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int t = 0; t < 32; ++t) ws.run(spec, t);
+  const std::int64_t delta =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(delta, 0) << "per-trial SBRB heap allocations regressed";
+}
+
 TEST(TrialFarm, FarmAllocationsAmortized) {
   // End-to-end farm: allocations must not scale per-trial beyond the
   // aggregate's own sample storage (geometric growth, a handful of
